@@ -1,0 +1,59 @@
+//! Simulator throughput: reservations simulated per second, serial vs
+//! crossbeam-parallel scaling of the Monte-Carlo engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resq::core::policy::{FixedLeadPolicy, ThresholdWorkflowPolicy};
+use resq::dist::{Normal, Truncated, Uniform, Xoshiro256pp};
+use resq::sim::{run_trials, MonteCarloConfig, PreemptibleSim, WorkflowSim};
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo");
+    g.sample_size(20);
+
+    // Single-trial costs.
+    let psim = PreemptibleSim {
+        reservation: 10.0,
+        ckpt: Uniform::new(1.0, 7.5).unwrap(),
+    };
+    let ppolicy = FixedLeadPolicy::new("opt", 5.5);
+    g.bench_function("one_preemptible_trial", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        b.iter(|| black_box(psim.run_once(&ppolicy, &mut rng)))
+    });
+
+    let wsim = WorkflowSim {
+        reservation: 29.0,
+        task: Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap(),
+        ckpt: Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap(),
+    };
+    let wpolicy = ThresholdWorkflowPolicy { threshold: 20.3 };
+    g.bench_function("one_workflow_trial", |b| {
+        let mut rng = Xoshiro256pp::new(2);
+        b.iter(|| black_box(wsim.run_once(&wpolicy, &mut rng)))
+    });
+
+    // Parallel scaling of the batch runner.
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("batch_100k_workflow_trials", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(run_trials(
+                        MonteCarloConfig {
+                            trials: 100_000,
+                            seed: 3,
+                            threads,
+                        },
+                        |_, rng| wsim.run_once(&wpolicy, rng).work_saved,
+                    ))
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_montecarlo);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! End-to-end planning cost: how long does it take to compute each of the
+//! paper's optima? (These run once per reservation, so even milliseconds
+//! are cheap — the benchmarks document the headroom.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resq::core::preemptible::closed_form;
+use resq::dist::{Gamma, Normal, Poisson, Truncated, Uniform};
+use resq::{DynamicStrategy, Preemptible, StaticStrategy};
+
+fn ckpt(mu_c: f64, sigma_c: f64) -> Truncated<Normal> {
+    Truncated::above(Normal::new(mu_c, sigma_c).unwrap(), 0.0).unwrap()
+}
+
+fn bench_optimum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimum");
+    g.sample_size(20);
+
+    g.bench_function("preemptible_uniform_closed_form", |b| {
+        b.iter(|| black_box(closed_form::uniform_x_opt(1.0, 7.5, black_box(10.0))))
+    });
+
+    g.bench_function("preemptible_exponential_lambert_w", |b| {
+        b.iter(|| black_box(closed_form::exponential_x_opt(0.5, 1.0, 5.0, black_box(10.0))))
+    });
+
+    g.bench_function("preemptible_normal_root", |b| {
+        b.iter(|| black_box(closed_form::normal_x_opt(3.5, 1.0, 1.0, 7.5, black_box(10.0))))
+    });
+
+    g.bench_function("preemptible_generic_optimizer_uniform", |b| {
+        let m = Preemptible::new(Uniform::new(1.0, 7.5).unwrap(), 10.0).unwrap();
+        b.iter(|| black_box(m.optimize()))
+    });
+
+    g.bench_function("preemptible_generic_optimizer_trunc_normal", |b| {
+        let law = Truncated::new(Normal::new(3.5, 1.0).unwrap(), 1.0, 7.5).unwrap();
+        let m = Preemptible::new(law, 10.0).unwrap();
+        b.iter(|| black_box(m.optimize()))
+    });
+
+    g.bench_function("static_n_opt_normal_fig5", |b| {
+        let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt(5.0, 0.4), 30.0).unwrap();
+        b.iter(|| black_box(s.optimize()))
+    });
+
+    g.bench_function("static_n_opt_gamma_fig6", |b| {
+        let s = StaticStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
+        b.iter(|| black_box(s.optimize()))
+    });
+
+    g.bench_function("static_n_opt_poisson_fig7", |b| {
+        let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
+        b.iter(|| black_box(s.optimize()))
+    });
+
+    g.bench_function("dynamic_threshold_fig8", |b| {
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), 29.0).unwrap();
+        b.iter(|| black_box(d.threshold()))
+    });
+
+    g.bench_function("dynamic_single_decision_fig8", |b| {
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), 29.0).unwrap();
+        b.iter(|| black_box(d.should_checkpoint(black_box(18.0))))
+    });
+
+    g.bench_function("convolution_static_plan_1024", |b| {
+        let task = resq::dist::Gamma::new(1.0, 0.5).unwrap();
+        b.iter(|| {
+            let conv =
+                resq::ConvolutionStatic::new(&task, ckpt(2.0, 0.4), 10.0, 1024).unwrap();
+            black_box(conv.optimize())
+        })
+    });
+
+    g.bench_function("heterogeneous_dp_12_stages_grid200", |b| {
+        let stages: Vec<resq::Stage<_, _>> = (0..12)
+            .map(|_| resq::Stage {
+                task: Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap(),
+                ckpt: ckpt(5.0, 0.4),
+            })
+            .collect();
+        let chain = resq::HeterogeneousDynamic::new(stages, 29.0).unwrap();
+        b.iter(|| black_box(chain.solve_dp(black_box(200))))
+    });
+
+    g.bench_function("normal_mixture_em_k2_n2000", |b| {
+        use resq::dist::{Mixture, Sample, Xoshiro256pp};
+        let truth = Mixture::new(vec![
+            (0.6, Normal::new(4.0, 0.3).unwrap()),
+            (0.4, Normal::new(9.0, 0.5).unwrap()),
+        ])
+        .unwrap();
+        let mut rng = Xoshiro256pp::new(1);
+        let data = truth.sample_vec(&mut rng, 2000);
+        b.iter(|| black_box(resq::dist::fit_normal_mixture(&data, 2, 100).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimum);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Quadrature cost on the paper's actual integrands — the static
+//! strategy's `E(y)` integral and the dynamic comparator's `E[W_{+1}]`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resq_dist::{Continuous, Normal, Truncated};
+use resq_numerics::{adaptive_simpson, GaussLegendre};
+
+fn bench_quadrature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quadrature");
+
+    // A Fig-5-like integrand: x · Φ-ratio · Normal density.
+    let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+    let integrand = move |x: f64| {
+        let p = if 30.0 - x <= 0.0 { 0.0 } else { ckpt.cdf(30.0 - x) };
+        let z = (x - 21.0) / 1.32;
+        x * p * (-0.5 * z * z).exp() / (1.32 * 2.5066282746310002)
+    };
+
+    g.bench_function("adaptive_simpson_fig5_integrand", |b| {
+        b.iter(|| black_box(adaptive_simpson(integrand, black_box(5.0), black_box(30.0), 1e-11)))
+    });
+
+    g.bench_function("adaptive_simpson_smooth_1e-8", |b| {
+        b.iter(|| {
+            black_box(adaptive_simpson(
+                |x| (x.sin() + 1.5).ln(),
+                0.0,
+                black_box(5.0),
+                1e-8,
+            ))
+        })
+    });
+
+    let gl32 = GaussLegendre::new(32);
+    g.bench_function("gauss_legendre_32_fig5_integrand", |b| {
+        b.iter(|| black_box(gl32.integrate(integrand, black_box(5.0), black_box(30.0))))
+    });
+
+    g.bench_function("gauss_legendre_construction_64", |b| {
+        b.iter(|| black_box(GaussLegendre::new(black_box(64))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_quadrature);
+criterion_main!(benches);

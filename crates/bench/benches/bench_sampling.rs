@@ -1,0 +1,63 @@
+//! Random-variate throughput — the Monte-Carlo engine's inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resq_dist::{
+    Exponential, Gamma, LogNormal, Normal, Poisson, Sample, Truncated, Uniform, Xoshiro256pp,
+};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    let mut rng = Xoshiro256pp::new(42);
+
+    g.bench_function("rng_next_u64", |b| {
+        use rand::RngCore;
+        b.iter(|| black_box(rng.next_u64()))
+    });
+
+    let uniform = Uniform::new(1.0, 7.5).unwrap();
+    g.bench_function("uniform", |b| b.iter(|| black_box(uniform.sample(&mut rng))));
+
+    let exp = Exponential::new(0.5).unwrap();
+    g.bench_function("exponential", |b| b.iter(|| black_box(exp.sample(&mut rng))));
+
+    let normal = Normal::new(3.0, 0.5).unwrap();
+    g.bench_function("normal_polar", |b| b.iter(|| black_box(normal.sample(&mut rng))));
+
+    let lognormal = LogNormal::new(1.0, 0.35).unwrap();
+    g.bench_function("lognormal", |b| b.iter(|| black_box(lognormal.sample(&mut rng))));
+
+    let gamma = Gamma::new(3.0, 0.5).unwrap();
+    g.bench_function("gamma_marsaglia_tsang", |b| {
+        b.iter(|| black_box(gamma.sample(&mut rng)))
+    });
+
+    let gamma_small = Gamma::new(0.5, 0.5).unwrap();
+    g.bench_function("gamma_shape_below_one", |b| {
+        b.iter(|| black_box(gamma_small.sample(&mut rng)))
+    });
+
+    let poisson_small = Poisson::new(3.0).unwrap();
+    g.bench_function("poisson_knuth", |b| {
+        b.iter(|| black_box(poisson_small.sample(&mut rng)))
+    });
+
+    let poisson_big = Poisson::new(40.0).unwrap();
+    g.bench_function("poisson_ptrs", |b| {
+        b.iter(|| black_box(poisson_big.sample(&mut rng)))
+    });
+
+    let trunc = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+    g.bench_function("truncated_normal_inversion", |b| {
+        b.iter(|| black_box(trunc.sample(&mut rng)))
+    });
+
+    let deep_tail = Truncated::new(Normal::new(0.0, 1.0).unwrap(), 4.0, 5.0).unwrap();
+    g.bench_function("deep_tail_truncation_inversion", |b| {
+        b.iter(|| black_box(deep_tail.sample(&mut rng)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Throughput of the special-function substrate — these sit in the inner
+//! loop of every expectation integral, so their cost bounds the cost of
+//! planning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resq_specfun::*;
+
+fn bench_specfun(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specfun");
+
+    g.bench_function("erf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1e-6;
+            black_box(erf(black_box(1.0 + x.fract())))
+        })
+    });
+
+    g.bench_function("erfc_tail", |b| {
+        b.iter(|| black_box(erfc(black_box(6.5))));
+    });
+
+    g.bench_function("norm_cdf", |b| {
+        b.iter(|| black_box(norm_cdf(black_box(1.2345))));
+    });
+
+    g.bench_function("norm_quantile", |b| {
+        b.iter(|| black_box(norm_quantile(black_box(0.123456))));
+    });
+
+    g.bench_function("ln_gamma", |b| {
+        b.iter(|| black_box(ln_gamma(black_box(12.34))));
+    });
+
+    g.bench_function("gamma_p_series_region", |b| {
+        b.iter(|| black_box(gamma_p(black_box(12.0), black_box(8.0))));
+    });
+
+    g.bench_function("gamma_p_cf_region", |b| {
+        b.iter(|| black_box(gamma_p(black_box(3.0), black_box(20.0))));
+    });
+
+    g.bench_function("inv_gamma_p", |b| {
+        b.iter(|| black_box(inv_gamma_p(black_box(12.0), black_box(0.37))));
+    });
+
+    g.bench_function("lambert_w0", |b| {
+        b.iter(|| black_box(lambert_w0(black_box(244.69))));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_specfun);
+criterion_main!(benches);

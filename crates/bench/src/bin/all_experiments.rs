@@ -1,0 +1,35 @@
+//! Runs every extension experiment (the DESIGN.md campaign beyond the
+//! paper's figures) and fails on any anchor drift — the counterpart to
+//! `all_figures` for the extension suite.
+//!
+//! Run with: `cargo run --release -p resq-bench --bin all_experiments`
+
+use resq_bench::experiments as exp;
+
+fn main() {
+    let results = vec![
+        exp::exp_gain_sweep(),
+        exp::exp_policy_mc(200_000),
+        exp::exp_dynamic_vs_static(100_000),
+        exp::exp_campaign(2_000),
+        exp::exp_trace_learning(),
+        exp::exp_general_instance(100_000),
+    ];
+    let mut failed = 0usize;
+    let mut total = 0usize;
+    for r in &results {
+        r.print();
+        total += r.anchors.len();
+        failed += r.anchors.iter().filter(|a| !a.passes()).count();
+    }
+    println!(
+        "{} experiments run, {}/{} anchors within tolerance.",
+        results.len(),
+        total - failed,
+        total
+    );
+    if failed > 0 {
+        eprintln!("{failed} anchor(s) drifted — failing.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **every figure of the paper** plus a Monte-Carlo smoke
+//! check, printing a paper-vs-measured report for each anchor. Exits
+//! non-zero if any anchor drifts out of tolerance.
+//!
+//! Run with: `cargo run --release -p resq-bench --bin all_figures`
+
+fn main() {
+    let figures = resq_bench::figures::all();
+    let mut failed = 0usize;
+    let mut total_anchors = 0usize;
+    for fig in &figures {
+        fig.print();
+        total_anchors += fig.anchors.len();
+        failed += fig.anchors.iter().filter(|a| !a.passes()).count();
+    }
+
+    println!("== Monte-Carlo smoke check");
+    let smoke = resq_bench::experiments::preemptible_mc_smoke(200_000);
+    let verdict = if smoke.passes() { "ok" } else { "DRIFT" };
+    println!(
+        "   {:<28} analytic {:>9.4}   simulated {:>9.4}   (tol ±{:.4}) [{verdict}]",
+        smoke.label, smoke.paper, smoke.measured, smoke.tolerance
+    );
+    total_anchors += 1;
+    if !smoke.passes() {
+        failed += 1;
+    }
+
+    println!(
+        "\n{} figures regenerated, {}/{} anchors within tolerance.",
+        figures.len(),
+        total_anchors - failed,
+        total_anchors
+    );
+    if failed > 0 {
+        eprintln!("{failed} anchor(s) drifted from the paper — failing.");
+        std::process::exit(1);
+    }
+}

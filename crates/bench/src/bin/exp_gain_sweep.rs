@@ -1,0 +1,4 @@
+//! Extension experiment: optimal-over-pessimistic gain sweep (§3).
+fn main() {
+    resq_bench::report::finish(resq_bench::experiments::exp_gain_sweep());
+}

@@ -1,0 +1,4 @@
+//! Extension experiment: the paper's §5 general (non-IID) instance.
+fn main() {
+    resq_bench::report::finish(resq_bench::experiments::exp_general_instance(150_000));
+}

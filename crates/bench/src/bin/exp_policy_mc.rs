@@ -1,0 +1,4 @@
+//! Extension experiment: Monte-Carlo policy validation/comparison (§4).
+fn main() {
+    resq_bench::report::finish(resq_bench::experiments::exp_policy_mc(400_000));
+}

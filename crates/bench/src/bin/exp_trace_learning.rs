@@ -1,0 +1,4 @@
+//! Extension experiment: planning regret of D_C learned from traces.
+fn main() {
+    resq_bench::report::finish(resq_bench::experiments::exp_trace_learning());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 06 (see `resq_bench::figures`).
+//! Prints paper-vs-measured anchors and writes the plotted series as CSV.
+
+fn main() {
+    resq_bench::report::finish(resq_bench::figures::fig06());
+}

@@ -1,0 +1,147 @@
+//! Reporting helpers shared by the figure and experiment binaries.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    /// What is being compared (e.g. `"X_opt"`, `"f(7)"`).
+    pub label: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction computes.
+    pub measured: f64,
+    /// Absolute tolerance for the pass verdict (reflecting the paper's
+    /// printed precision / plot readability).
+    pub tolerance: f64,
+}
+
+impl Anchor {
+    /// Builds an anchor.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            measured,
+            tolerance,
+        }
+    }
+
+    /// Whether the measured value is within tolerance of the paper's.
+    pub fn passes(&self) -> bool {
+        (self.measured - self.paper).abs() <= self.tolerance
+    }
+}
+
+/// The result of regenerating one figure.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Figure identifier, e.g. `"fig05"`.
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// Paper-vs-measured anchors.
+    pub anchors: Vec<Anchor>,
+    /// Where the plotted series was written (if any).
+    pub csv: Option<PathBuf>,
+}
+
+impl FigureResult {
+    /// True iff every anchor passes.
+    pub fn passes(&self) -> bool {
+        self.anchors.iter().all(Anchor::passes)
+    }
+
+    /// Prints the standard report block to stdout.
+    pub fn print(&self) {
+        println!("== {} — {}", self.id, self.title);
+        for a in &self.anchors {
+            let verdict = if a.passes() { "ok" } else { "DRIFT" };
+            println!(
+                "   {:<28} paper {:>9.3}   measured {:>9.4}   (tol ±{:<6.3}) [{verdict}]",
+                a.label, a.paper, a.measured, a.tolerance
+            );
+        }
+        if let Some(csv) = &self.csv {
+            println!("   series -> {}", csv.display());
+        }
+        println!();
+    }
+}
+
+/// Directory for CSV outputs (`results/` at the workspace root, or the
+/// current directory as a fallback). Created on demand.
+pub fn results_dir() -> PathBuf {
+    let base = workspace_root().join("results");
+    std::fs::create_dir_all(&base).ok();
+    base
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → two levels up.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let p = Path::new(&manifest);
+    p.ancestors().nth(2).unwrap_or(p).to_path_buf()
+}
+
+/// Writes a CSV file with a header row.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.10}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Standard `main` body for single-figure binaries: print the report and
+/// exit non-zero on anchor drift.
+pub fn finish(result: FigureResult) {
+    result.print();
+    if !result.passes() {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_pass_fail() {
+        assert!(Anchor::new("x", 5.5, 5.52, 0.05).passes());
+        assert!(!Anchor::new("x", 5.5, 5.6, 0.05).passes());
+    }
+
+    #[test]
+    fn figure_result_aggregates() {
+        let r = FigureResult {
+            id: "figX".into(),
+            title: "t".into(),
+            anchors: vec![
+                Anchor::new("a", 1.0, 1.0, 0.1),
+                Anchor::new("b", 2.0, 2.05, 0.1),
+            ],
+            csv: None,
+        };
+        assert!(r.passes());
+    }
+
+    #[test]
+    fn csv_writer_round_trip() {
+        let dir = std::env::temp_dir().join("resq-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x,y\n"));
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,8 @@
+#![warn(missing_docs)]
+
+//! Library surface of the `resq` CLI (argument parsing and law-spec
+//! parsing), exposed so the binary's building blocks are unit-testable
+//! and reusable.
+
+pub mod args;
+pub mod spec;

@@ -1,0 +1,377 @@
+//! `resq` — command-line planner for end-of-reservation checkpointing.
+//!
+//! ```text
+//! resq plan-preemptible --ckpt uniform:1,7.5 --reservation 10
+//! resq plan-static      --task normal:3,0.5 --ckpt normal:5,0.4@0, --reservation 30
+//! resq plan-dynamic     --task normal:3,0.5@0, --ckpt normal:5,0.4@0, --reservation 29
+//! resq simulate         --task normal:3,0.5@0, --ckpt normal:5,0.4@0, --reservation 29 \
+//!                       --threshold 20.3 --trials 100000 [--seed 1]
+//! resq learn            --trace ckpts.jsonl --reservation 30
+//! ```
+
+use resq::dist::Distribution;
+use resq::sim::{run_trials, MonteCarloConfig, WorkflowSim};
+use resq::{ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
+use resq_cli::args::{ArgError, Args};
+use resq_cli::spec::{parse_law, DynLaw, LawSpec};
+
+const USAGE: &str = "\
+resq — when to checkpoint at the end of a fixed-length reservation?
+
+USAGE:
+  resq <command> [--flag value]...
+
+COMMANDS:
+  plan-preemptible  optimal lead time for a preemptible application (paper §3)
+      --ckpt <law>            checkpoint-duration law (bounded support)
+      --reservation <R>
+      [--min-success <p>]     SLO floor on the checkpoint success probability
+  plan-static       checkpoint after n_opt tasks, decided up front (paper §4.2)
+      --task <law>            task-duration law (normal/gamma/poisson or any
+                              non-negative continuous law, via convolution)
+      --ckpt <law>            checkpoint law with support in [0, inf)
+      --reservation <R>
+  plan-dynamic      work threshold W_int for the online rule (paper §4.3)
+      --task <law>  --ckpt <law>  --reservation <R>
+  simulate          Monte-Carlo a threshold policy in the workflow scenario
+      --task <law>  --ckpt <law>  --reservation <R>  --threshold <W>
+      [--trials <n>=100000] [--seed <s>=42]
+  learn             learn the checkpoint law from a JSONL trace (paper: \"learned
+                    from traces of previous checkpoints\") and plan
+      --trace <file.jsonl>  --reservation <R>
+
+LAW SYNTAX:
+  uniform:a,b | exponential:lambda | normal:mu,sigma | lognormal:mu,sigma |
+  gamma:k,theta | poisson:lambda
+  Optional truncation suffix @lo,hi (empty side = infinite), e.g.
+  normal:5,0.4@0,   exponential:0.5@1,5
+";
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(tokens) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(tokens: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(tokens)?;
+    match args.command.as_deref() {
+        Some("plan-preemptible") => plan_preemptible(&args),
+        Some("plan-static") => plan_static(&args),
+        Some("plan-dynamic") => plan_dynamic(&args),
+        Some("simulate") => simulate(&args),
+        Some("learn") => learn(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn continuous(args: &Args, key: &str) -> Result<DynLaw, ArgError> {
+    match parse_law(args.require(key)?)? {
+        LawSpec::Continuous(law) => Ok(law),
+        LawSpec::Poisson(_) => Err(ArgError(format!(
+            "`--{key}` must be a continuous law (poisson is discrete)"
+        ))),
+    }
+}
+
+fn plan_preemptible(args: &Args) -> Result<(), ArgError> {
+    let ckpt = continuous(args, "ckpt")?;
+    let r = args.require_f64("reservation")?;
+    let min_success = args.f64_or("min-success", 0.0)?;
+    let model = Preemptible::new(ckpt, r).map_err(|e| ArgError(e.to_string()))?;
+    let plan = model
+        .optimize_with_min_success(min_success)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let pess = model.pessimistic();
+    println!("reservation R         : {r}");
+    println!("checkpoint support    : [{:.4}, {:.4}]", model.checkpoint_bounds().0, model.checkpoint_bounds().1);
+    println!("optimal lead time X   : {:.4} s before the end", plan.lead_time);
+    println!("  expected saved work : {:.4}", plan.expected_work);
+    println!("  success probability : {:.4}", plan.success_probability);
+    println!("pessimistic (X = b)   : saves {:.4} (always succeeds)", pess.expected_work);
+    println!(
+        "gain over pessimistic : {:+.2}%",
+        100.0 * (plan.expected_work / pess.expected_work - 1.0)
+    );
+    println!("oracle upper bound    : {:.4}", model.oracle_expected_work());
+    if min_success > 0.0 {
+        println!("success-probability floor honoured: {min_success}");
+    }
+    Ok(())
+}
+
+fn plan_static(args: &Args) -> Result<(), ArgError> {
+    let r = args.require_f64("reservation")?;
+    let ckpt = continuous(args, "ckpt")?;
+    let task_raw = args.require("task")?;
+    let plan = match parse_law(task_raw)? {
+        LawSpec::Poisson(p) => StaticStrategy::new(p, ckpt, r)
+            .map_err(|e| ArgError(e.to_string()))?
+            .optimize(),
+        LawSpec::Continuous(task) => {
+            // Exact family strategies exist for plain Normal/Gamma; the
+            // convolution planner covers everything uniformly here.
+            ConvolutionStatic::new(&task, ckpt, r, 1024)
+                .map_err(|e| ArgError(e.to_string()))?
+                .optimize()
+        }
+    };
+    println!("reservation R  : {r}");
+    println!("n_opt          : checkpoint after {} tasks", plan.n_opt);
+    println!("E[saved work]  : {:.4}", plan.expected_work);
+    Ok(())
+}
+
+fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
+    let r = args.require_f64("reservation")?;
+    let ckpt = continuous(args, "ckpt")?;
+    let task = continuous(args, "task")?;
+    let task_mean = task.mean();
+    let d = DynamicStrategy::new(task, ckpt, r).map_err(|e| ArgError(e.to_string()))?;
+    match d.threshold() {
+        Some(w) => {
+            println!("reservation R     : {r}");
+            println!("task mean         : {task_mean:.4}");
+            println!("threshold W_int   : {w:.4}");
+            println!("rule              : checkpoint at the first task boundary with work >= W_int");
+            println!("E[W_C](W_int)     : {:.4}", d.expect_checkpoint_now(w));
+        }
+        None => {
+            println!("no useful threshold: the reservation is too short for a checkpoint to plausibly fit");
+        }
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), ArgError> {
+    let r = args.require_f64("reservation")?;
+    let ckpt = continuous(args, "ckpt")?;
+    let task = continuous(args, "task")?;
+    let threshold = args.require_f64("threshold")?;
+    let trials = args.u64_or("trials", 100_000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let sim = WorkflowSim {
+        reservation: r,
+        task,
+        ckpt,
+    };
+    let policy = resq::core::policy::ThresholdWorkflowPolicy { threshold };
+    let saved = run_trials(
+        MonteCarloConfig {
+            trials,
+            seed,
+            threads: 0,
+        },
+        |_, rng| sim.run_once(&policy, rng).work_saved,
+    );
+    let success = run_trials(
+        MonteCarloConfig {
+            trials,
+            seed,
+            threads: 0,
+        },
+        |_, rng| sim.run_once(&policy, rng).checkpoint_succeeded as u64 as f64,
+    );
+    let (lo, hi) = saved.ci95();
+    println!("trials            : {trials} (seed {seed})");
+    println!("mean saved work   : {:.4}  (95% CI [{lo:.4}, {hi:.4}])", saved.mean);
+    println!("success rate      : {:.4}", success.mean);
+    println!("min / max saved   : {:.4} / {:.4}", saved.min, saved.max);
+    Ok(())
+}
+
+fn learn(args: &Args) -> Result<(), ArgError> {
+    let r = args.require_f64("reservation")?;
+    let path = args.require("trace")?;
+    let log = resq::traces::TraceLog::load(std::path::Path::new(path))
+        .map_err(|e| ArgError(format!("cannot read trace `{path}`: {e}")))?;
+    let durations = log.completed_durations();
+    let learned = resq::traces::learn_checkpoint_law(
+        &durations,
+        resq::traces::learn::LearnConfig::default(),
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+    let (plan, pess) = learned.plan(r).map_err(|e| ArgError(e.to_string()))?;
+    println!("trace             : {} completed checkpoints", learned.observations);
+    println!("fitted family     : {:?}", learned.model.family());
+    println!("  mean / sd       : {:.4} / {:.4}", learned.model.mean(), learned.model.variance().sqrt());
+    println!("  KS statistic    : {:.4} (p = {:.3e})", learned.ks_statistic, learned.ks_p_value);
+    println!("support [a, b]    : [{:.4}, {:.4}]", learned.support.0, learned.support.1);
+    println!("optimal lead time : {:.4} s before the end", plan.lead_time);
+    println!("  E[saved work]   : {:.4}", plan.expected_work);
+    println!("pessimistic plan  : lead {:.4}, saves {:.4}", pess.lead_time, pess.expected_work);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<(), ArgError> {
+        run(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_tokens(&["help"]).is_ok());
+        assert!(run_tokens(&[]).is_ok());
+        assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn plan_preemptible_happy_path() {
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "uniform:1,7.5",
+            "--reservation",
+            "10"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn plan_preemptible_with_slo_floor() {
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "uniform:1,7.5",
+            "--reservation",
+            "10",
+            "--min-success",
+            "0.9"
+        ])
+        .is_ok());
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "uniform:1,7.5",
+            "--reservation",
+            "10",
+            "--min-success",
+            "1.5"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn plan_preemptible_rejects_unbounded_law() {
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "normal:5,0.4",
+            "--reservation",
+            "10"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn plan_static_poisson_and_continuous() {
+        assert!(run_tokens(&[
+            "plan-static",
+            "--task",
+            "poisson:3",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29"
+        ])
+        .is_ok());
+        assert!(run_tokens(&[
+            "plan-static",
+            "--task",
+            "gamma:1,0.5",
+            "--ckpt",
+            "normal:2,0.4@0,",
+            "--reservation",
+            "10"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn plan_dynamic_happy_path() {
+        assert!(run_tokens(&[
+            "plan-dynamic",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn simulate_happy_path() {
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "2000"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn simulate_requires_threshold() {
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn learn_round_trip_via_tempfile() {
+        use resq::dist::{Normal, Truncated};
+        use resq::traces::SyntheticTrace;
+        let dir = std::env::temp_dir().join("resq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let truth = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        SyntheticTrace::clean(truth)
+            .generate(2000, 3)
+            .save(&path)
+            .unwrap();
+        assert!(run_tokens(&[
+            "learn",
+            "--trace",
+            path.to_str().unwrap(),
+            "--reservation",
+            "30"
+        ])
+        .is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn learn_missing_file_is_clean_error() {
+        let e = run_tokens(&["learn", "--trace", "/nonexistent.jsonl", "--reservation", "30"]);
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Black-box tests of the `resq` binary: spawn the real executable and
+//! assert on its stdout/stderr/exit codes — the contract shell scripts
+//! depend on.
+
+use std::process::Command;
+
+fn resq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_resq"))
+        .args(args)
+        .output()
+        .expect("failed to spawn resq binary")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = resq(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan-preemptible"));
+    assert!(text.contains("LAW SYNTAX"));
+}
+
+#[test]
+fn plan_preemptible_reports_the_fig1a_optimum() {
+    let out = resq(&[
+        "plan-preemptible",
+        "--ckpt",
+        "uniform:1,7.5",
+        "--reservation",
+        "10",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("5.5000"), "missing X_opt in:\n{text}");
+    assert!(text.contains("oracle upper bound"));
+}
+
+#[test]
+fn plan_dynamic_reports_fig8_threshold() {
+    let out = resq(&[
+        "plan-dynamic",
+        "--task",
+        "normal:3,0.5@0,",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // W_int ≈ 20.26
+    assert!(text.contains("W_int"), "{text}");
+    assert!(text.contains("20.2"), "threshold off in:\n{text}");
+}
+
+#[test]
+fn plan_static_reports_fig7_n_opt() {
+    let out = resq(&[
+        "plan-static",
+        "--task",
+        "poisson:3",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("after 6 tasks"), "n_opt wrong in:\n{text}");
+}
+
+#[test]
+fn simulate_emits_confidence_interval() {
+    let out = resq(&[
+        "simulate",
+        "--task",
+        "normal:3,0.5@0,",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+        "--threshold",
+        "20.26",
+        "--trials",
+        "5000",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("95% CI"));
+    assert!(text.contains("success rate"));
+}
+
+#[test]
+fn bad_flags_fail_with_usage_on_stderr() {
+    let out = resq(&["plan-preemptible", "--reservation", "10"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--ckpt"), "error should name the flag: {err}");
+    assert!(err.contains("USAGE"));
+
+    let out = resq(&["plan-preemptible", "--ckpt", "nonsense:1", "--reservation", "10"]);
+    assert!(!out.status.success());
+
+    let out = resq(&["no-such-command"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn learn_round_trip_through_a_real_file() {
+    use resq::dist::{Normal, Truncated};
+    use resq::traces::SyntheticTrace;
+    let dir = std::env::temp_dir().join("resq-cli-int-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let truth = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+    SyntheticTrace::clean(truth)
+        .generate(3000, 11)
+        .save(&path)
+        .unwrap();
+
+    let out = resq(&[
+        "learn",
+        "--trace",
+        path.to_str().unwrap(),
+        "--reservation",
+        "30",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fitted family"));
+    assert!(text.contains("Normal"), "family wrong:\n{text}");
+    assert!(text.contains("optimal lead time"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,172 @@
+//! Deterministic task durations — the §4.1 remark: "if task execution
+//! times are deterministic instead of stochastic … the problem can be
+//! solved using the same approach as in Section 3."
+//!
+//! With tasks of fixed length `t`, a checkpoint after `k` tasks starts at
+//! time `k·t`, i.e. `X = R − k·t` seconds before the end, and saves
+//! `k·t` with probability `P(C ≤ R − k·t)`. The §3 objective is simply
+//! evaluated on the lattice `{R − k·t : k ∈ ℕ}` instead of the continuum.
+
+use crate::error::CoreError;
+use resq_dist::Continuous;
+
+/// Plan for deterministic tasks: checkpoint after `k_opt` tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicPlan {
+    /// Number of tasks to run before the checkpoint.
+    pub k_opt: u64,
+    /// Work saved if the checkpoint succeeds (`k_opt · t`).
+    pub work: f64,
+    /// Success probability `P(C ≤ R − k_opt·t)`.
+    pub success_probability: f64,
+    /// Expected saved work.
+    pub expected_work: f64,
+}
+
+/// §4.1 deterministic-task model.
+#[derive(Debug, Clone)]
+pub struct DeterministicWorkflow<C: Continuous> {
+    task: f64,
+    ckpt: C,
+    r: f64,
+}
+
+impl<C: Continuous> DeterministicWorkflow<C> {
+    /// Builds the model: fixed task length `task > 0`, checkpoint law
+    /// with support in `[0, ∞)`, reservation `R`.
+    pub fn new(task: f64, ckpt: C, r: f64) -> Result<Self, CoreError> {
+        if !(r > 0.0) || !r.is_finite() {
+            return Err(CoreError::InvalidReservation { r });
+        }
+        if !(task > 0.0) || !task.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "task",
+                value: task,
+            });
+        }
+        let (lo, _) = ckpt.support();
+        if lo < -1e-9 {
+            return Err(CoreError::NegativeCheckpointSupport { lo });
+        }
+        Ok(Self { task, ckpt, r })
+    }
+
+    /// Expected saved work when checkpointing after `k` tasks:
+    /// `k·t · P(C ≤ R − k·t)` (0 when the tasks alone exceed `R`).
+    pub fn expected_work(&self, k: u64) -> f64 {
+        let w = k as f64 * self.task;
+        let left = self.r - w;
+        if left <= 0.0 {
+            return 0.0;
+        }
+        w * self.ckpt.cdf(left)
+    }
+
+    /// The optimal task count (exact scan over the finite lattice).
+    pub fn optimize(&self) -> DeterministicPlan {
+        let k_max = (self.r / self.task).floor() as u64;
+        let (mut best_k, mut best_v) = (0u64, 0.0f64);
+        for k in 1..=k_max.max(1) {
+            let v = self.expected_work(k);
+            if v > best_v {
+                best_v = v;
+                best_k = k;
+            }
+        }
+        let work = best_k as f64 * self.task;
+        let success = if best_k == 0 {
+            0.0
+        } else {
+            self.ckpt.cdf(self.r - work)
+        };
+        DeterministicPlan {
+            k_opt: best_k,
+            work,
+            success_probability: success,
+            expected_work: best_v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preemptible::Preemptible;
+    use resq_dist::{Normal, Truncated, Uniform};
+
+    #[test]
+    fn construction_validates() {
+        let c = Uniform::new(1.0, 7.5).unwrap();
+        assert!(DeterministicWorkflow::new(1.0, c, 10.0).is_ok());
+        assert!(DeterministicWorkflow::new(0.0, c, 10.0).is_err());
+        assert!(DeterministicWorkflow::new(1.0, c, -1.0).is_err());
+        let n = Normal::new(0.0, 1.0).unwrap(); // support includes negatives
+        assert!(DeterministicWorkflow::new(1.0, n, 10.0).is_err());
+    }
+
+    #[test]
+    fn reduces_to_section3_on_fine_lattice() {
+        // With tiny tasks the lattice is dense and the optimum approaches
+        // the continuous §3 optimum of Fig 1(a): X_opt = 5.5 → work 4.5.
+        let c = Uniform::new(1.0, 7.5).unwrap();
+        let m = DeterministicWorkflow::new(0.01, c, 10.0).unwrap();
+        let plan = m.optimize();
+        let cont = Preemptible::new(c, 10.0).unwrap().optimize();
+        assert!(
+            (plan.work - (10.0 - cont.lead_time)).abs() < 0.02,
+            "lattice work {} vs continuous {}",
+            plan.work,
+            10.0 - cont.lead_time
+        );
+        assert!((plan.expected_work - cont.expected_work).abs() < 0.02);
+    }
+
+    #[test]
+    fn coarse_lattice_picks_best_feasible_k() {
+        // Tasks of 2.5 s in R = 10 with C ~ Uniform[1, 7.5]:
+        // k=1: 2.5·F(7.5) = 2.5; k=2: 5·F(5) = 5·(4/6.5) ≈ 3.08;
+        // k=3: 7.5·F(2.5) = 7.5·(1.5/6.5) ≈ 1.73; k=4: 10·F(0) = 0.
+        let c = Uniform::new(1.0, 7.5).unwrap();
+        let m = DeterministicWorkflow::new(2.5, c, 10.0).unwrap();
+        assert!((m.expected_work(1) - 2.5).abs() < 1e-12);
+        assert!((m.expected_work(2) - 5.0 * (4.0 / 6.5)).abs() < 1e-12);
+        assert!((m.expected_work(3) - 7.5 * (1.5 / 6.5)).abs() < 1e-12);
+        assert_eq!(m.expected_work(4), 0.0);
+        let plan = m.optimize();
+        assert_eq!(plan.k_opt, 2);
+        assert!((plan.expected_work - 5.0 * 4.0 / 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_tie_resolves_to_smaller_k() {
+        // 3-second tasks make E(1) = E(2) = 18/6.5 exactly; the scan keeps
+        // the earlier (strictly-greater comparison), which also maximizes
+        // the success probability — the right tie-break.
+        let c = Uniform::new(1.0, 7.5).unwrap();
+        let m = DeterministicWorkflow::new(3.0, c, 10.0).unwrap();
+        assert!((m.expected_work(1) - m.expected_work(2)).abs() < 1e-12);
+        let plan = m.optimize();
+        assert_eq!(plan.k_opt, 1);
+        assert!(plan.success_probability > 0.9);
+    }
+
+    #[test]
+    fn oversized_tasks_yield_zero_plan() {
+        let c = Uniform::new(1.0, 7.5).unwrap();
+        let m = DeterministicWorkflow::new(20.0, c, 10.0).unwrap();
+        let plan = m.optimize();
+        assert_eq!(plan.k_opt, 0);
+        assert_eq!(plan.expected_work, 0.0);
+    }
+
+    #[test]
+    fn truncated_normal_checkpoint_law_works() {
+        let c = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let m = DeterministicWorkflow::new(3.0, c, 29.0).unwrap();
+        let plan = m.optimize();
+        // 7 tasks = 21 work leaves 8 s for a ~5 s checkpoint: near-sure.
+        assert_eq!(plan.k_opt, 7);
+        assert!(plan.success_probability > 0.99);
+        assert!((plan.expected_work - 21.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,301 @@
+//! §4.2 — the static strategy: decide *before execution* after how many
+//! tasks to checkpoint.
+//!
+//! With `S_n = Σ X_i` and checkpoint law `C` (support in `[0, ∞)`):
+//!
+//! ```text
+//! E(n) = ∫ x · P(C ≤ R − x) · f_{S_n}(x) dx          (Equation 3)
+//! ```
+//!
+//! The paper replaces `n` by a real `y ∈ (0, ∞)`, maximizes the resulting
+//! continuous function (`f`, `g`, `h` for Normal, Gamma, Poisson tasks),
+//! and takes `n_opt` as the better of `⌊y_opt⌋` / `⌈y_opt⌉`.
+
+use crate::error::CoreError;
+use crate::workflow::sum_law::IidSum;
+use resq_dist::Continuous;
+use resq_numerics::{grid_max, round_to_better_integer, GridSpec, NeumaierSum};
+
+/// The static plan: checkpoint after `n_opt` tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPlan {
+    /// Maximizer of the continuous relaxation.
+    pub y_opt: f64,
+    /// Value of the relaxation at `y_opt`.
+    pub relaxed_value: f64,
+    /// The integer plan: checkpoint at the end of task `n_opt`.
+    pub n_opt: u64,
+    /// Expected saved work `E(n_opt)`.
+    pub expected_work: f64,
+}
+
+/// §4.2 model: IID tasks `tasks` (a family closed under summation),
+/// checkpoint law `ckpt` with support in `[0, ∞)`, reservation `R`.
+///
+/// ```
+/// use resq_dist::{Normal, Truncated};
+/// use resq_core::StaticStrategy;
+///
+/// // Figure 5: tasks ~ N(3, 0.5²), C ~ N[0,∞)(5, 0.4²), R = 30.
+/// let ckpt = Truncated::above(Normal::new(5.0, 0.4)?, 0.0)?;
+/// let s = StaticStrategy::new(Normal::new(3.0, 0.5)?, ckpt, 30.0)?;
+/// let plan = s.optimize();
+/// assert_eq!(plan.n_opt, 7);                      // paper: n_opt = 7
+/// assert!((s.expected_work(7) - 20.9).abs() < 0.2);
+/// # Ok::<(), resq_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticStrategy<T: IidSum, C: Continuous> {
+    tasks: T,
+    ckpt: C,
+    r: f64,
+}
+
+impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
+    /// Builds the model; `R` must be positive finite and the checkpoint
+    /// law non-negative.
+    pub fn new(tasks: T, ckpt: C, r: f64) -> Result<Self, CoreError> {
+        if !(r > 0.0) || !r.is_finite() {
+            return Err(CoreError::InvalidReservation { r });
+        }
+        let (lo, _) = ckpt.support();
+        if lo < -1e-9 {
+            return Err(CoreError::NegativeCheckpointSupport { lo });
+        }
+        if !(tasks.task_mean() > 0.0) {
+            return Err(CoreError::InvalidTaskLaw("task mean must be positive"));
+        }
+        Ok(Self { tasks, ckpt, r })
+    }
+
+    /// Reservation length `R`.
+    pub fn reservation(&self) -> f64 {
+        self.r
+    }
+
+    /// The task law.
+    pub fn tasks(&self) -> &T {
+        &self.tasks
+    }
+
+    /// The checkpoint law.
+    pub fn checkpoint_law(&self) -> &C {
+        &self.ckpt
+    }
+
+    /// `P(C ≤ c)` — the probability a checkpoint fits into `c` seconds.
+    #[inline]
+    fn fit_probability(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            0.0
+        } else {
+            self.ckpt.cdf(c)
+        }
+    }
+
+    /// The continuous relaxation of `E(n)` — the paper's `f(y)` / `g(y)` /
+    /// `h(y)` depending on the task family.
+    ///
+    /// Returns 0 for `y ≤ 0`.
+    pub fn expected_work_relaxed(&self, y: f64) -> f64 {
+        if !(y > 0.0) {
+            return 0.0;
+        }
+        if self.tasks.is_discrete() {
+            // h(y) = Σ_{j=0}^{⌊R⌋} j · P(C ≤ R−j) · pmf_{S_y}(j)
+            let mut acc = NeumaierSum::new();
+            let jmax = self.r.floor() as u64;
+            for j in 0..=jmax {
+                let jf = j as f64;
+                let p = self.fit_probability(self.r - jf);
+                if p > 0.0 && j > 0 {
+                    acc.add(jf * p * self.tasks.sum_density(y, jf));
+                }
+            }
+            acc.value()
+        } else {
+            let (lo, hi) = self.tasks.sum_bounds(y);
+            // Work beyond R is never saved (P(C ≤ R−x) = 0 for x ≥ R).
+            let hi = hi.min(self.r);
+            if hi <= lo {
+                return 0.0;
+            }
+            resq_numerics::adaptive_simpson(
+                |x| x * self.fit_probability(self.r - x) * self.tasks.sum_density(y, x),
+                lo,
+                hi,
+                1e-11,
+            )
+            .value
+        }
+    }
+
+    /// `E(n)` for an integer task count.
+    pub fn expected_work(&self, n: u64) -> f64 {
+        self.expected_work_relaxed(n as f64)
+    }
+
+    /// Maximizes the relaxation over `y` and settles `n_opt` as the better
+    /// of `⌊y_opt⌋` / `⌈y_opt⌉` (the paper's prescription).
+    pub fn optimize(&self) -> StaticPlan {
+        // Beyond R/E[X] (plus slack for variance) the sum exceeds R a.s.
+        // and E(y) → 0; cap the search there.
+        let y_max = (self.r / self.tasks.task_mean()) * 2.0 + 10.0;
+        let e = grid_max(
+            |y| self.expected_work_relaxed(y),
+            1e-3,
+            y_max,
+            GridSpec {
+                points: 256,
+                xtol: 1e-8,
+            },
+        );
+        let n_hi = (y_max.ceil() as u64).max(2);
+        let (n_opt, expected_work) =
+            round_to_better_integer(|n| self.expected_work(n), e.x, 1, n_hi);
+        StaticPlan {
+            y_opt: e.x,
+            relaxed_value: e.value,
+            n_opt,
+            expected_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resq_dist::{Gamma, Normal, Poisson, Truncated};
+
+    /// The paper's checkpoint law for all of Section 4:
+    /// `N_{[0,∞)}(μ_C, σ_C²)`.
+    fn ckpt(mu_c: f64, sigma_c: f64) -> Truncated<Normal> {
+        Truncated::above(Normal::new(mu_c, sigma_c).unwrap(), 0.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let t = Normal::new(3.0, 0.5).unwrap();
+        assert!(StaticStrategy::new(t, ckpt(5.0, 0.4), 30.0).is_ok());
+        assert!(matches!(
+            StaticStrategy::new(t, ckpt(5.0, 0.4), 0.0),
+            Err(CoreError::InvalidReservation { .. })
+        ));
+        // Checkpoint law with negative support is rejected.
+        assert!(matches!(
+            StaticStrategy::new(t, Normal::new(5.0, 0.4).unwrap(), 30.0),
+            Err(CoreError::NegativeCheckpointSupport { .. })
+        ));
+        // Non-positive task mean.
+        let bad = Normal::new(-3.0, 0.5).unwrap();
+        assert!(StaticStrategy::new(bad, ckpt(5.0, 0.4), 30.0).is_err());
+    }
+
+    #[test]
+    fn figure5_normal_tasks() {
+        // Fig 5: μ=3, σ=0.5, μC=5, σC=0.4, R=30.
+        // Paper: y_opt ≈ 7.4, f(7) ≈ 20.9, f(8) ≈ 17.6, n_opt = 7.
+        let s = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            ckpt(5.0, 0.4),
+            30.0,
+        )
+        .unwrap();
+        let plan = s.optimize();
+        assert!((plan.y_opt - 7.4).abs() < 0.15, "y_opt {}", plan.y_opt);
+        assert_eq!(plan.n_opt, 7);
+        let f7 = s.expected_work(7);
+        let f8 = s.expected_work(8);
+        assert!((f7 - 20.9).abs() < 0.15, "f(7) = {f7}");
+        assert!((f8 - 17.6).abs() < 0.15, "f(8) = {f8}");
+        assert!((plan.expected_work - f7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure6_gamma_tasks() {
+        // Fig 6: k=1, θ=0.5, μC=2, σC=0.4, R=10.
+        // Paper: y_opt ≈ 11.8, g(11) ≈ 4.77, g(12) ≈ 4.82, n_opt = 12.
+        let s = StaticStrategy::new(
+            Gamma::new(1.0, 0.5).unwrap(),
+            ckpt(2.0, 0.4),
+            10.0,
+        )
+        .unwrap();
+        let plan = s.optimize();
+        assert!((plan.y_opt - 11.8).abs() < 0.3, "y_opt {}", plan.y_opt);
+        assert_eq!(plan.n_opt, 12);
+        let g11 = s.expected_work(11);
+        let g12 = s.expected_work(12);
+        assert!((g11 - 4.77).abs() < 0.05, "g(11) = {g11}");
+        assert!((g12 - 4.82).abs() < 0.05, "g(12) = {g12}");
+        assert!(g12 > g11);
+    }
+
+    #[test]
+    fn figure7_poisson_tasks() {
+        // Fig 7: λ=3, μC=5, σC=0.4, R=29.
+        // Paper: y_opt ≈ 5.98, h(5) ≈ 14.6, h(6) ≈ 15.8, n_opt = 6.
+        let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
+        let plan = s.optimize();
+        assert!((plan.y_opt - 5.98).abs() < 0.15, "y_opt {}", plan.y_opt);
+        assert_eq!(plan.n_opt, 6);
+        let h5 = s.expected_work(5);
+        let h6 = s.expected_work(6);
+        assert!((h5 - 14.6).abs() < 0.15, "h(5) = {h5}");
+        assert!((h6 - 15.8).abs() < 0.15, "h(6) = {h6}");
+        assert!(h6 > h5);
+    }
+
+    #[test]
+    fn expected_work_vanishes_at_extremes() {
+        let s = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            ckpt(5.0, 0.4),
+            30.0,
+        )
+        .unwrap();
+        // Too few tasks: little work attempted → small E.
+        assert!(s.expected_work(1) < s.expected_work(7));
+        // Far too many tasks: the sum blows past R, nothing is saved.
+        assert!(s.expected_work(30) < 1e-6, "E(30) = {}", s.expected_work(30));
+        // y ≤ 0 is defined as zero.
+        assert_eq!(s.expected_work_relaxed(0.0), 0.0);
+        assert_eq!(s.expected_work_relaxed(-3.0), 0.0);
+    }
+
+    #[test]
+    fn optimum_dominates_neighbours() {
+        let s = StaticStrategy::new(
+            Gamma::new(2.0, 0.4).unwrap(),
+            ckpt(1.5, 0.3),
+            12.0,
+        )
+        .unwrap();
+        let plan = s.optimize();
+        for n in 1..=(plan.n_opt + 10) {
+            assert!(
+                s.expected_work(n) <= plan.expected_work + 1e-9,
+                "E({n}) beats E(n_opt)"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_checkpoint_law_reduces_to_hard_cutoff() {
+        // With C ≡ c deterministic, P(C ≤ R−x) = 1[x ≤ R−c]: E(n) is the
+        // mean of S_n restricted to [0, R−c].
+        let c = resq_dist::Constant::new(5.0).unwrap();
+        let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), c, 30.0).unwrap();
+        // By direct integration of x·f_{S_7}(x) over (−∞, 25]:
+        let task = Normal::new(3.0, 0.5).unwrap();
+        let want = resq_numerics::adaptive_simpson(
+            |x| x * IidSum::sum_density(&task, 7.0, x),
+            21.0 - 12.0 * (7.0f64).sqrt() * 0.5,
+            25.0,
+            1e-11,
+        )
+        .value;
+        let got = s.expected_work(7);
+        assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Task-duration families closed under IID summation.
+//!
+//! The static strategy (§4.2) needs the law of `S_n = Σ_{i=1}^n X_i`
+//! *as a function of a continuous relaxation* `n → y ∈ (0, ∞)`:
+//! `E(y) = ∫ x·P(C ≤ R−x)·f_{S_y}(x) dx`. The paper instantiates three
+//! families where `S_n` stays in the family:
+//!
+//! | task law        | sum law              |
+//! |-----------------|----------------------|
+//! | `N(μ, σ²)`      | `N(yμ, yσ²)`         |
+//! | `Gamma(k, θ)`   | `Gamma(yk, θ)`       |
+//! | `Poisson(λ)`    | `Poisson(yλ)`        |
+
+use resq_dist::{Distribution, Gamma, Normal, Poisson};
+use resq_specfun::{ln_factorial, ln_gamma, norm_pdf};
+
+/// A task-duration law whose IID sum has a known density for any
+/// (continuously relaxed) number of tasks `y > 0`.
+pub trait IidSum {
+    /// Density of `S_y` at `x` (for [`IidSum::is_discrete`] families: the
+    /// probability mass at integer `x`). Must return a finite value — in
+    /// particular, integrable singularities (e.g. `Gamma` with `yk < 1`
+    /// at `x = 0`) are reported as `0` so quadrature stays finite.
+    fn sum_density(&self, y: f64, x: f64) -> f64;
+
+    /// Bounds `(lo, hi)` outside which `sum_density(y, ·)` is negligible
+    /// (≲ 1e-30 of the mass); used to clip quadrature ranges.
+    fn sum_bounds(&self, y: f64) -> (f64, f64);
+
+    /// Mean duration of a single task, `E[X]`.
+    fn task_mean(&self) -> f64;
+
+    /// Standard deviation of a single task.
+    fn task_std_dev(&self) -> f64;
+
+    /// True if the law is supported on the integers (Poisson): `E(y)`
+    /// becomes the paper's sum `Σ_{j=0}^{R} …` instead of an integral.
+    fn is_discrete(&self) -> bool {
+        false
+    }
+}
+
+impl IidSum for Normal {
+    fn sum_density(&self, y: f64, x: f64) -> f64 {
+        let sd = y.sqrt() * self.sigma();
+        norm_pdf((x - y * self.mu()) / sd) / sd
+    }
+
+    fn sum_bounds(&self, y: f64) -> (f64, f64) {
+        let m = y * self.mu();
+        let sd = y.sqrt() * self.sigma();
+        (m - 12.0 * sd, m + 12.0 * sd)
+    }
+
+    fn task_mean(&self) -> f64 {
+        self.mu()
+    }
+
+    fn task_std_dev(&self) -> f64 {
+        self.sigma()
+    }
+}
+
+impl IidSum for Gamma {
+    fn sum_density(&self, y: f64, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let shape = y * self.shape();
+        let v = ((shape - 1.0) * x.ln() - x / self.scale()
+            - ln_gamma(shape)
+            - shape * self.scale().ln())
+        .exp();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    fn sum_bounds(&self, y: f64) -> (f64, f64) {
+        let shape = y * self.shape();
+        let m = shape * self.scale();
+        let sd = shape.sqrt() * self.scale();
+        (0.0, m + 14.0 * sd)
+    }
+
+    fn task_mean(&self) -> f64 {
+        self.mean()
+    }
+
+    fn task_std_dev(&self) -> f64 {
+        self.std_dev()
+    }
+}
+
+impl IidSum for Poisson {
+    fn sum_density(&self, y: f64, x: f64) -> f64 {
+        debug_assert!(x >= 0.0 && x == x.floor(), "Poisson mass at integer x");
+        let rate = y * self.lambda();
+        (-rate + x * rate.ln() - ln_factorial(x as u64)).exp()
+    }
+
+    fn sum_bounds(&self, y: f64) -> (f64, f64) {
+        let rate = y * self.lambda();
+        (0.0, rate + 14.0 * rate.sqrt() + 20.0)
+    }
+
+    fn task_mean(&self) -> f64 {
+        self.lambda()
+    }
+
+    fn task_std_dev(&self) -> f64 {
+        self.lambda().sqrt()
+    }
+
+    fn is_discrete(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resq_dist::Continuous;
+
+    #[test]
+    fn normal_sum_density_matches_explicit_normal() {
+        // S_7 of N(3, 0.5²) is N(21, 7·0.25).
+        let task = Normal::new(3.0, 0.5).unwrap();
+        let explicit = Normal::new(21.0, (7.0f64 * 0.25).sqrt()).unwrap();
+        for &x in &[18.0, 20.0, 21.0, 22.5, 24.0] {
+            let got = task.sum_density(7.0, x);
+            let want = explicit.pdf(x);
+            assert!((got - want).abs() < 1e-12, "x={x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gamma_sum_density_matches_explicit_gamma() {
+        // S_12 of Gamma(1, 0.5) is Gamma(12, 0.5).
+        let task = Gamma::new(1.0, 0.5).unwrap();
+        let explicit = Gamma::new(12.0, 0.5).unwrap();
+        for &x in &[2.0, 4.0, 6.0, 8.0, 10.0] {
+            let got = task.sum_density(12.0, x);
+            let want = explicit.pdf(x);
+            assert!((got - want).abs() < 1e-12, "x={x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn poisson_sum_density_matches_explicit_poisson() {
+        use resq_dist::Discrete;
+        // S_6 of Poisson(3) is Poisson(18).
+        let task = Poisson::new(3.0).unwrap();
+        let explicit = Poisson::new(18.0).unwrap();
+        for j in [5u64, 10, 18, 25, 40] {
+            let got = task.sum_density(6.0, j as f64);
+            let want = explicit.pmf(j);
+            assert!((got - want).abs() < 1e-13, "j={j}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn densities_integrate_to_one_within_bounds() {
+        let task = Normal::new(3.0, 0.5).unwrap();
+        let (lo, hi) = task.sum_bounds(7.4);
+        let mass = resq_numerics::adaptive_simpson(|x| task.sum_density(7.4, x), lo, hi, 1e-11);
+        assert!((mass.value - 1.0).abs() < 1e-8, "normal mass {}", mass.value);
+
+        let task = Gamma::new(1.0, 0.5).unwrap();
+        let (lo, hi) = task.sum_bounds(11.8);
+        let mass = resq_numerics::adaptive_simpson(|x| task.sum_density(11.8, x), lo, hi, 1e-11);
+        assert!((mass.value - 1.0).abs() < 1e-7, "gamma mass {}", mass.value);
+
+        let task = Poisson::new(3.0).unwrap();
+        let (_, hi) = task.sum_bounds(5.98);
+        let mass: f64 = (0..=hi as u64).map(|j| task.sum_density(5.98, j as f64)).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "poisson mass {mass}");
+    }
+
+    #[test]
+    fn gamma_singularity_guard() {
+        // y·k < 1 → pdf singular at 0; sum_density must stay finite.
+        let task = Gamma::new(1.0, 0.5).unwrap();
+        let v = task.sum_density(0.5, 0.0);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn task_moments() {
+        assert_eq!(Normal::new(3.0, 0.5).unwrap().task_mean(), 3.0);
+        assert_eq!(Gamma::new(1.0, 0.5).unwrap().task_mean(), 0.5);
+        assert_eq!(Poisson::new(3.0).unwrap().task_mean(), 3.0);
+        assert!(!Normal::new(3.0, 0.5).unwrap().is_discrete());
+        assert!(Poisson::new(3.0).unwrap().is_discrete());
+    }
+}

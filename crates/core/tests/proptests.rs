@@ -1,0 +1,148 @@
+//! Property-based tests for the core strategies: invariants the paper's
+//! mathematics guarantees for *all* valid parameters.
+
+use proptest::prelude::*;
+use resq_core::preemptible::closed_form;
+use resq_core::workflow::deterministic::DeterministicWorkflow;
+use resq_core::{DynamicStrategy, Preemptible, StaticStrategy};
+use resq_dist::{Continuous, Exponential, Normal, Truncated, Uniform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §3 Uniform: the closed form equals the analytical argmax of the
+    /// trinomial, and saturates exactly at R = 2b − a.
+    #[test]
+    fn uniform_closed_form_saturation_boundary(
+        a in 0.2f64..3.0,
+        width in 0.5f64..5.0,
+    ) {
+        let b = a + width;
+        // Just below the saturation boundary: interior optimum.
+        let r_interior = 2.0 * b - a - 1e-6;
+        let x = closed_form::uniform_x_opt(a, b, r_interior).unwrap();
+        prop_assert!(x < b);
+        prop_assert!((x - 0.5 * (r_interior + a)).abs() < 1e-12);
+        // Just above: saturated at b.
+        let r_saturated = 2.0 * b - a + 1e-6;
+        let x = closed_form::uniform_x_opt(a, b, r_saturated).unwrap();
+        prop_assert!((x - b).abs() < 1e-9);
+    }
+
+    /// §3.2.2: the Lambert-W optimum matches the generic optimizer in
+    /// expected work across the parameter space (x-locations may differ
+    /// slightly where the objective is flat).
+    #[test]
+    fn exponential_closed_form_vs_optimizer(
+        lambda in 0.1f64..2.0,
+        a in 0.2f64..2.0,
+        width in 0.5f64..5.0,
+        slack in 0.5f64..8.0,
+    ) {
+        let b = a + width;
+        let r = b + slack;
+        let closed = closed_form::exponential_x_opt(lambda, a, b, r).unwrap();
+        let law = Truncated::new(Exponential::new(lambda).unwrap(), a, b).unwrap();
+        let m = Preemptible::new(law, r).unwrap();
+        let numeric = m.optimize();
+        prop_assert!(
+            (m.expected_work(closed) - numeric.expected_work).abs()
+                <= 1e-6 * numeric.expected_work.max(1e-9),
+            "λ={lambda} a={a} b={b} r={r}: closed x={closed} vs numeric x={}",
+            numeric.lead_time
+        );
+    }
+
+    /// Risk frontier: expected work is non-increasing in the SLO floor,
+    /// and the success probability constraint is honoured.
+    #[test]
+    fn risk_frontier_monotone(
+        a in 0.2f64..3.0,
+        width in 0.5f64..5.0,
+        slack in 0.5f64..8.0,
+    ) {
+        let b = a + width;
+        let r = b + slack;
+        let m = Preemptible::new(Uniform::new(a, b).unwrap(), r).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let plan = m.optimize_with_min_success(p).unwrap();
+            prop_assert!(plan.success_probability >= p - 1e-9,
+                "floor {p} violated: {}", plan.success_probability);
+            prop_assert!(plan.expected_work <= prev + 1e-9,
+                "frontier not monotone at p={p}");
+            prev = plan.expected_work;
+        }
+    }
+
+    /// Dynamic strategy: W_int shifts with the checkpoint mean — more
+    /// expensive checkpoints mean earlier (smaller-work) thresholds.
+    #[test]
+    fn threshold_decreases_with_checkpoint_cost(
+        mu_c in 2.0f64..6.0,
+    ) {
+        let r = 29.0;
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let cheap = Truncated::above(Normal::new(mu_c, 0.3).unwrap(), 0.0).unwrap();
+        let costly = Truncated::above(Normal::new(mu_c + 2.0, 0.3).unwrap(), 0.0).unwrap();
+        let w_cheap = DynamicStrategy::new(task.clone(), cheap, r).unwrap().threshold().unwrap();
+        let w_costly = DynamicStrategy::new(task, costly, r).unwrap().threshold().unwrap();
+        prop_assert!(w_costly < w_cheap, "costly {w_costly} !< cheap {w_cheap}");
+    }
+
+    /// Deterministic-task plan: E(k_opt) dominates every k on the lattice
+    /// and success probability decreases in k.
+    #[test]
+    fn deterministic_plan_invariants(
+        t in 0.3f64..4.0,
+        mu_c in 1.0f64..5.0,
+        r in 10.0f64..40.0,
+    ) {
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.2 * mu_c).unwrap(), 0.0).unwrap();
+        let m = DeterministicWorkflow::new(t, ckpt.clone(), r).unwrap();
+        let plan = m.optimize();
+        let k_max = (r / t).floor() as u64;
+        let mut prev_succ = f64::INFINITY;
+        for k in 1..=k_max {
+            prop_assert!(m.expected_work(k) <= plan.expected_work + 1e-9, "k={k}");
+            let left = r - k as f64 * t;
+            let succ = if left > 0.0 { ckpt.cdf(left) } else { 0.0 };
+            prop_assert!(succ <= prev_succ + 1e-12);
+            prev_succ = succ;
+        }
+    }
+
+    /// Static strategy scaling law: the *reserve* `R − n_opt·μ` the plan
+    /// keeps for the checkpoint is `μ_C` plus a dispersion margin of
+    /// order `σ√n_opt` — it does NOT scale with `R`. (Naive linear
+    /// `n_opt ∝ R` scaling is wrong precisely because of this offset.)
+    #[test]
+    fn static_plan_reserve_is_checkpoint_plus_dispersion(scale in 1.0f64..3.0) {
+        let (mu, sigma, mu_c) = (3.0, 0.5, 5.0);
+        let r = 30.0 * scale;
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.4).unwrap(), 0.0).unwrap();
+        let plan = StaticStrategy::new(Normal::new(mu, sigma).unwrap(), ckpt, r)
+            .unwrap()
+            .optimize();
+        let reserve = r - plan.n_opt as f64 * mu;
+        let dispersion = sigma * (plan.n_opt as f64).sqrt();
+        prop_assert!(
+            reserve >= mu_c - mu,
+            "reserve {reserve} below μ_C − μ at R={r}"
+        );
+        prop_assert!(
+            reserve <= mu_c + 5.0 * dispersion + mu,
+            "reserve {reserve} too large (dispersion {dispersion}) at R={r}"
+        );
+        // And the expected work is close to the full n_opt·μ (the plan
+        // succeeds with high probability at these parameters).
+        prop_assert!(plan.expected_work <= r);
+        prop_assert!(
+            plan.expected_work >= 0.9 * plan.n_opt as f64 * mu,
+            "E = {} far below n_opt·μ = {}",
+            plan.expected_work,
+            plan.n_opt as f64 * mu
+        );
+    }
+}

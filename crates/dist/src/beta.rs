@@ -1,0 +1,186 @@
+//! Beta law on `[0, 1]` — not used by the paper directly, but the
+//! natural model for *relative* checkpoint durations (`C / C_max`) and
+//! for success-fraction workloads; rescale with an affine transform or
+//! truncation to obtain a bounded checkpoint law with tunable skew.
+
+use crate::traits::{Continuous, Distribution, Sample};
+use crate::{require_positive, DistError, Gamma};
+use rand::RngCore;
+use resq_specfun::{inc_beta, inv_inc_beta, ln_beta};
+
+/// Beta distribution with shape parameters `α, β > 0`, support `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+    /// Gamma representation for sampling: `X/(X+Y)` with
+    /// `X ~ Gamma(α, 1)`, `Y ~ Gamma(β, 1)`.
+    ga: Gamma,
+    gb: Gamma,
+}
+
+impl Beta {
+    /// Creates `Beta(α, β)`.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, DistError> {
+        let alpha = require_positive("alpha", alpha)?;
+        let beta = require_positive("beta", beta)?;
+        Ok(Self {
+            alpha,
+            beta,
+            ga: Gamma::new(alpha, 1.0)?,
+            gb: Gamma::new(beta, 1.0)?,
+        })
+    }
+
+    /// Shape `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Distribution for Beta {
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+impl Continuous for Beta {
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.alpha.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => self.beta,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        if x == 1.0 {
+            return match self.beta.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => self.alpha,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            inc_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        inv_inc_beta(self.alpha, self.beta, p)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) || x == 0.0 || x == 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+            - ln_beta(self.alpha, self.beta)
+    }
+}
+
+impl Sample for Beta {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let x = self.ga.sample(rng);
+        let y = self.gb.sample(rng);
+        if x + y == 0.0 {
+            return 0.5; // vanishing-probability guard
+        }
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Beta::new(2.0, 3.0).is_ok());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) = Uniform([0,1]).
+        let b = Beta::new(1.0, 1.0).unwrap();
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((b.cdf(x) - x).abs() < 1e-13);
+            assert!((b.pdf(x) - 1.0).abs() < 1e-13);
+        }
+        assert_eq!(b.mean(), 0.5);
+        assert!((b.variance() - 1.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn moments() {
+        let b = Beta::new(2.0, 3.0).unwrap();
+        assert!((b.mean() - 0.4).abs() < 1e-15);
+        assert!((b.variance() - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_limits_at_boundaries() {
+        assert_eq!(Beta::new(0.5, 2.0).unwrap().pdf(0.0), f64::INFINITY);
+        assert_eq!(Beta::new(2.0, 0.5).unwrap().pdf(1.0), f64::INFINITY);
+        assert_eq!(Beta::new(2.0, 2.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Beta::new(1.0, 3.0).unwrap().pdf(0.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let b = Beta::new(2.5, 1.5).unwrap();
+        for i in 1..50 {
+            let p = i as f64 / 50.0;
+            assert!((b.cdf(b.quantile(p)) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let b = Beta::new(2.0, 5.0).unwrap();
+        let r = resq_numerics::adaptive_simpson(|x| b.pdf(x), 0.0, 1.0, 1e-12);
+        assert!((r.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let b = Beta::new(2.0, 3.0).unwrap();
+        let mut rng = Xoshiro256pp::new(44);
+        let n = 200_000;
+        let xs = b.sample_vec(&mut rng, n);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 0.4).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.04).abs() < 0.002, "var {var}");
+    }
+}

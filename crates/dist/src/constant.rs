@@ -1,0 +1,108 @@
+//! Degenerate (deterministic) law — the paper's remark in §4.1: "if task
+//! execution times are deterministic instead of stochastic, the problem
+//! can be solved using the same approach as in Section 3". [`Constant`]
+//! lets deterministic components plug into the same `Policy`/simulator
+//! machinery as stochastic ones.
+
+use crate::traits::{Continuous, Distribution, Sample};
+use crate::{require_finite, DistError};
+use rand::RngCore;
+
+/// The distribution of a deterministic value `c` (a Dirac mass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Creates the point mass at `value` (must be finite).
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            value: require_finite("value", value)?,
+        })
+    }
+
+    /// The deterministic value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Distribution for Constant {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+}
+
+impl Continuous for Constant {
+    /// Dirac density: `inf` at the point, 0 elsewhere (integrates to 1 in
+    /// the distributional sense; do not feed to quadrature).
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.value
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.value, self.value)
+    }
+}
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn basic_properties() {
+        let c = Constant::new(5.0).unwrap();
+        assert_eq!(c.mean(), 5.0);
+        assert_eq!(c.variance(), 0.0);
+        assert_eq!(c.cdf(4.999), 0.0);
+        assert_eq!(c.cdf(5.0), 1.0);
+        assert_eq!(c.quantile(0.3), 5.0);
+        assert!(c.quantile(1.5).is_nan());
+        assert_eq!(c.support(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn sampling_is_constant() {
+        let c = Constant::new(-2.5).unwrap();
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), -2.5);
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(Constant::new(f64::NAN).is_err());
+        assert!(Constant::new(f64::INFINITY).is_err());
+    }
+}

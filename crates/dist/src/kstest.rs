@@ -1,0 +1,142 @@
+//! Kolmogorov–Smirnov one-sample goodness-of-fit test.
+//!
+//! Used by the trace-learning pipeline to decide whether a fitted
+//! checkpoint-duration law is credible before planning against it: a
+//! mis-specified `D_C` silently degrades every strategy in the paper, so
+//! `resq-traces` refuses models whose KS p-value collapses.
+
+use crate::traits::Continuous;
+
+/// Outcome of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The statistic `D_n = sup_x |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value `P(D > D_n)` under the null.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// KS statistic of `data` against the continuous law `dist`.
+///
+/// `O(n log n)`; ties are handled by the standard two-sided bound over
+/// the step discontinuities of the ECDF.
+pub fn ks_statistic<D: Continuous>(data: &[f64], dist: &D) -> f64 {
+    assert!(!data.is_empty(), "KS statistic of an empty sample");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let upper = (i as f64 + 1.0) / n - f; // ECDF just after x
+        let lower = f - i as f64 / n; // ECDF just before x
+        d = d.max(upper).max(lower);
+    }
+    d
+}
+
+/// Asymptotic Kolmogorov survival function
+/// `Q(t) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² t²)`.
+fn kolmogorov_sf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    if t > 8.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        sum += sign * term;
+        if term < 1e-18 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `data` against `dist`.
+///
+/// The p-value uses the asymptotic Kolmogorov distribution with the
+/// small-sample correction `(√n + 0.12 + 0.11/√n) D_n` (Stephens).
+pub fn ks_test<D: Continuous>(data: &[f64], dist: &D) -> KsOutcome {
+    let statistic = ks_statistic(data, dist);
+    let n = data.len();
+    let sn = (n as f64).sqrt();
+    let t = (sn + 0.12 + 0.11 / sn) * statistic;
+    KsOutcome {
+        statistic,
+        p_value: kolmogorov_sf(t),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::{Exponential, Normal, Sample, Uniform};
+
+    #[test]
+    fn perfect_grid_has_small_statistic() {
+        // Quantile grid of the law itself: D_n = 1/(2n) at the midpoints.
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let n = 100;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&data, &u);
+        assert!((d - 0.5 / n as f64).abs() < 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn correct_model_gets_high_p_value() {
+        let truth = Normal::new(5.0, 0.4).unwrap();
+        let mut rng = Xoshiro256pp::new(42);
+        let data = truth.sample_vec(&mut rng, 5000);
+        let out = ks_test(&data, &truth);
+        assert!(out.statistic < 0.03, "D = {}", out.statistic);
+        assert!(out.p_value > 0.01, "p = {}", out.p_value);
+        assert_eq!(out.n, 5000);
+    }
+
+    #[test]
+    fn wrong_model_gets_tiny_p_value() {
+        let truth = Exponential::new(1.0).unwrap();
+        let wrong = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(43);
+        let data = truth.sample_vec(&mut rng, 5000);
+        let out = ks_test(&data, &wrong);
+        assert!(out.p_value < 1e-6, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known quantiles: Q(1.3581) ≈ 0.05, Q(1.2238) ≈ 0.1, Q(1.0727) ≈ 0.2.
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 5e-4);
+        assert!((kolmogorov_sf(1.2238) - 0.10).abs() < 5e-4);
+        assert!((kolmogorov_sf(1.0727) - 0.20).abs() < 5e-4);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert_eq!(kolmogorov_sf(10.0), 0.0);
+    }
+
+    #[test]
+    fn statistic_detects_location_shift() {
+        let shifted = Normal::new(0.3, 1.0).unwrap();
+        let null = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(44);
+        let data = shifted.sample_vec(&mut rng, 2000);
+        let d_null = ks_statistic(&data, &null);
+        let d_true = ks_statistic(&data, &shifted);
+        assert!(d_null > 2.0 * d_true, "null D {d_null} vs true D {d_true}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let _ = ks_statistic(&[], &u);
+    }
+}

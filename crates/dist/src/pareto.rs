@@ -1,0 +1,177 @@
+//! Pareto law — heavy-tailed checkpoint durations.
+//!
+//! Parallel-filesystem contention produces occasional very slow
+//! checkpoints; a Pareto tail models that far better than the paper's
+//! light-tailed laws. Truncating it to `[a, b]` (via
+//! [`crate::Truncated`]) plugs it straight into the §3 machinery and
+//! makes the pessimistic-vs-optimal gap dramatic, since `C_max` is then
+//! a genuine outlier.
+
+use crate::traits::{uniform01_open_left, Continuous, Distribution, Sample};
+use crate::{require_positive, DistError};
+use rand::RngCore;
+
+/// Pareto (type I) distribution: scale `x_m > 0`, shape `α > 0`;
+/// CDF `1 − (x_m/x)^α` on `[x_m, ∞)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates `Pareto(x_m, α)`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            scale: require_positive("scale", scale)?,
+            shape: require_positive("shape", shape)?,
+        })
+    }
+
+    /// Scale (minimum value) `x_m`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Tail index `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl Distribution for Pareto {
+    /// Mean `α x_m/(α−1)` for `α > 1`, infinite otherwise.
+    fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    /// Variance finite only for `α > 2`.
+    fn variance(&self) -> f64 {
+        if self.shape <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.shape;
+            self.scale * self.scale * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+}
+
+impl Continuous for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            self.shape * self.scale.powf(self.shape) / x.powf(self.shape + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            1.0
+        } else {
+            (self.scale / x).powf(self.shape)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.scale / (1.0 - p).powf(1.0 / self.shape)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.scale, f64::INFINITY)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            f64::NEG_INFINITY
+        } else {
+            self.shape.ln() + self.shape * self.scale.ln() - (self.shape + 1.0) * x.ln()
+        }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inversion: x_m · U^{-1/α} with U ∈ (0, 1].
+        self.scale * uniform01_open_left(rng).powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::Truncated;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Pareto::new(1.0, 2.5).is_ok());
+        assert!(Pareto::new(0.0, 2.5).is_err());
+        assert!(Pareto::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let p = Pareto::new(2.0, 3.0).unwrap();
+        assert!((p.mean() - 3.0).abs() < 1e-12);
+        assert!((p.variance() - 4.0 * 3.0 / (4.0 * 1.0)).abs() < 1e-12);
+        assert_eq!(Pareto::new(1.0, 0.8).unwrap().mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).unwrap().variance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let p = Pareto::new(1.5, 2.2).unwrap();
+        for i in 1..50 {
+            let q = i as f64 / 50.0;
+            assert!((p.cdf(p.quantile(q)) - q).abs() < 1e-12, "q={q}");
+        }
+        assert_eq!(p.cdf(1.0), 0.0);
+        assert_eq!(p.quantile(0.0), 1.5);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let p = Pareto::new(1.0, 2.0).unwrap();
+        let r = resq_numerics::adaptive_simpson(|x| p.pdf(x), 1.0, 8.0, 1e-12);
+        assert!((r.value - p.cdf(8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_tail_index() {
+        // P(X > t) = (x_m/t)^α: check the empirical tail at t = 4·x_m.
+        let p = Pareto::new(1.0, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::new(77);
+        let n = 200_000;
+        let above = (0..n).filter(|_| p.sample(&mut rng) > 4.0).count() as f64 / n as f64;
+        assert!((above - 1.0 / 16.0).abs() < 0.003, "tail {above}");
+    }
+
+    #[test]
+    fn truncated_pareto_in_preemptible_range() {
+        // The §3 usage: Pareto truncated to [a, b] has a valid CDF ratio.
+        let t = Truncated::new(Pareto::new(1.0, 1.5).unwrap(), 1.0, 7.5).unwrap();
+        assert_eq!(t.cdf(1.0), 0.0);
+        assert_eq!(t.cdf(7.5), 1.0);
+        let mass = resq_numerics::adaptive_simpson(|x| t.pdf(x), 1.0, 7.5, 1e-11);
+        assert!((mass.value - 1.0).abs() < 1e-8);
+    }
+}

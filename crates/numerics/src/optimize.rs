@@ -1,0 +1,331 @@
+//! Scalar optimization: Brent minimization ([`brent_min`]/[`brent_max`]),
+//! grid-refined global maximization ([`grid_max`]) and integer argmax
+//! ([`integer_argmax`]).
+//!
+//! The paper's optima are mostly maxima of smooth concave (or at least
+//! unimodal) objectives — `E[W(X)]` over `X ∈ [a, R]`, the continuous
+//! relaxations `f(y)`, `g(y)`, `h(y)` of `E(n)` over `y > 0`. [`grid_max`]
+//! does a coarse scan first, so no unimodality assumption is required;
+//! [`integer_argmax`] then settles `n_opt = ⌊y⌋` vs `⌈y⌉` exactly as the
+//! paper prescribes.
+
+/// Result of a scalar optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extremum {
+    /// Location of the extremum.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub value: f64,
+}
+
+const GOLDEN: f64 = 0.381_966_011_250_105_1; // (3 - sqrt(5)) / 2
+
+/// Brent's parabolic-interpolation minimizer on `[a, b]`.
+///
+/// Finds a local minimum of `f`; for unimodal `f` this is the global
+/// minimum on the interval. `xtol` is the absolute x-tolerance.
+pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Extremum {
+    let (mut a, mut b) = if a <= b { (a, b) } else { (b, a) };
+    let mut x = a + GOLDEN * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let tol1 = xtol.max(1e-15) + f64::EPSILON * x.abs();
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Fit a parabola through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q2 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q2 - (x - w) * r;
+            let mut q = 2.0 * (q2 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (a - x) && p < q * (b - x) {
+                // Accept the parabolic step.
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = tol1.copysign(m - x);
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { b - x } else { a - x };
+            d = GOLDEN * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                b = x;
+            } else {
+                a = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Extremum { x, value: fx }
+}
+
+/// Brent maximization: [`brent_min`] on `-f`.
+pub fn brent_max<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Extremum {
+    let m = brent_min(|x| -f(x), a, b, xtol);
+    Extremum {
+        x: m.x,
+        value: -m.value,
+    }
+}
+
+/// Configuration for [`grid_max`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    /// Number of coarse grid points (≥ 3).
+    pub points: usize,
+    /// x-tolerance of the Brent refinement.
+    pub xtol: f64,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        Self {
+            points: 256,
+            xtol: 1e-10,
+        }
+    }
+}
+
+/// Global maximization on `[a, b]`: coarse scan over `spec.points` evenly
+/// spaced samples, then Brent refinement in the best bracketing cell pair.
+///
+/// Robust against multimodality at the grid resolution; the endpoints are
+/// always candidates (the paper's `X_opt = b` saturation case lands
+/// exactly on an endpoint).
+pub fn grid_max<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, spec: GridSpec) -> Extremum {
+    assert!(a <= b, "invalid interval [{a}, {b}]");
+    let n = spec.points.max(3);
+    if a == b {
+        let value = f(a);
+        return Extremum { x: a, value };
+    }
+    let xs = crate::linspace(a, b, n);
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    let fs: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let v = f(x);
+            if v.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                v
+            }
+        })
+        .collect();
+    for (i, &v) in fs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    // Refine inside the two cells adjacent to the best sample.
+    let lo = xs[best_i.saturating_sub(1)];
+    let hi = xs[(best_i + 1).min(n - 1)];
+    let refined = brent_max(&mut f, lo, hi, spec.xtol);
+    if refined.value >= best_v {
+        refined
+    } else {
+        Extremum {
+            x: xs[best_i],
+            value: best_v,
+        }
+    }
+}
+
+/// Picks the integer in `[lo, hi]` maximizing `f`, as the paper does for
+/// `n_opt` (continuous relaxation optimum rounded to the better of
+/// `⌊y⌋`/`⌈y⌉` — except here we scan all integers, which is exact and
+/// cheap for reservation-scale `n`).
+///
+/// Returns `(n, f(n))`. Panics if `lo > hi`.
+pub fn integer_argmax<F: FnMut(u64) -> f64>(mut f: F, lo: u64, hi: u64) -> (u64, f64) {
+    assert!(lo <= hi, "empty integer range [{lo}, {hi}]");
+    let mut best_n = lo;
+    let mut best_v = f64::NEG_INFINITY;
+    for n in lo..=hi {
+        let v = f(n);
+        if v > best_v {
+            best_v = v;
+            best_n = n;
+        }
+    }
+    (best_n, best_v)
+}
+
+/// Rounds a continuous-relaxation optimum `y` to the better of `⌊y⌋`/`⌈y⌉`
+/// under `f`, clamped into `[lo, hi]` — the paper's exact prescription for
+/// converting `y_opt` into `n_opt` (§4.2).
+pub fn round_to_better_integer<F: FnMut(u64) -> f64>(
+    mut f: F,
+    y: f64,
+    lo: u64,
+    hi: u64,
+) -> (u64, f64) {
+    let fl = (y.floor().max(lo as f64) as u64).clamp(lo, hi);
+    let ce = (y.ceil().max(lo as f64) as u64).clamp(lo, hi);
+    let vf = f(fl);
+    if fl == ce {
+        return (fl, vf);
+    }
+    let vc = f(ce);
+    if vf >= vc {
+        (fl, vf)
+    } else {
+        (ce, vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_min_parabola() {
+        let r = brent_min(|x| (x - 1.7) * (x - 1.7) + 0.25, -10.0, 10.0, 1e-12);
+        assert!((r.x - 1.7).abs() < 1e-8, "x = {}", r.x);
+        assert!((r.value - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_max_concave() {
+        // The paper's Uniform-law objective (x-a)(R-x): max at (R+a)/2.
+        let (a, r) = (1.0, 10.0);
+        let e = brent_max(|x| (x - a) * (r - x), a, r, 1e-12);
+        assert!((e.x - 5.5).abs() < 1e-8, "x = {}", e.x);
+        assert!((e.value - 4.5 * 4.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_min_transcendental() {
+        // min of x - ln x at x = 1.
+        let e = brent_min(|x: f64| x - x.ln(), 0.1, 5.0, 1e-12);
+        assert!((e.x - 1.0).abs() < 1e-7);
+        assert!((e.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_handles_boundary_minimum() {
+        // Monotone increasing: minimum at left endpoint.
+        let e = brent_min(|x| x, 2.0, 5.0, 1e-12);
+        assert!(e.x - 2.0 < 1e-6, "x = {}", e.x);
+        assert!(e.value - 2.0 < 1e-6);
+    }
+
+    #[test]
+    fn grid_max_finds_global_among_local_optima() {
+        // Two humps: global at x ≈ 4, local at x ≈ 1.
+        let f = |x: f64| {
+            (-(x - 1.0) * (x - 1.0) / 0.1).exp() + 2.0 * (-(x - 4.0) * (x - 4.0) / 0.1).exp()
+        };
+        let e = grid_max(f, 0.0, 6.0, GridSpec::default());
+        assert!((e.x - 4.0).abs() < 1e-6, "x = {}", e.x);
+        assert!((e.value - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn grid_max_endpoint_maximum() {
+        // Decreasing on the whole interval: max at left endpoint.
+        let e = grid_max(|x| -x, 1.0, 7.5, GridSpec::default());
+        assert!((e.x - 1.0).abs() < 1e-8);
+        // Increasing: max at right endpoint (the X_opt = b saturation case).
+        let e = grid_max(|x| x, 1.0, 7.5, GridSpec::default());
+        assert!((e.x - 7.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn grid_max_degenerate_interval() {
+        let e = grid_max(|x| x * x, 3.0, 3.0, GridSpec::default());
+        assert_eq!(e.x, 3.0);
+        assert_eq!(e.value, 9.0);
+    }
+
+    #[test]
+    fn integer_argmax_quadratic() {
+        // f(n) = -(n-7)^2 peaks at n=7.
+        let (n, v) = integer_argmax(|n| -((n as f64 - 7.0).powi(2)), 1, 30);
+        assert_eq!(n, 7);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn integer_argmax_prefers_first_on_tie() {
+        let (n, _) = integer_argmax(|n| if n == 3 || n == 5 { 1.0 } else { 0.0 }, 1, 10);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn round_to_better_integer_picks_larger_value() {
+        // Continuous optimum y=7.4 but f(8) > f(7) here.
+        let f = |n: u64| if n == 8 { 10.0 } else { 5.0 };
+        let (n, v) = round_to_better_integer(f, 7.4, 1, 100);
+        assert_eq!(n, 8);
+        assert_eq!(v, 10.0);
+        // And the paper's Fig 5 case: y=7.4 with f(7) > f(8).
+        let f = |n: u64| if n == 7 { 20.9 } else { 17.6 };
+        let (n, v) = round_to_better_integer(f, 7.4, 1, 100);
+        assert_eq!(n, 7);
+        assert!((v - 20.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_to_better_integer_clamps() {
+        let (n, _) = round_to_better_integer(|n| n as f64, 0.2, 1, 100);
+        assert_eq!(n, 1);
+        let (n, _) = round_to_better_integer(|n| n as f64, 250.7, 1, 100);
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn integer_argmax_empty_range_panics() {
+        let _ = integer_argmax(|_| 0.0, 5, 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the numerics substrate.
+
+use proptest::prelude::*;
+use resq_numerics::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simpson_linearity(a in -5.0f64..5.0, b in -5.0f64..5.0, c0 in -3.0f64..3.0, c1 in -3.0f64..3.0) {
+        // ∫ (c0 + c1 x) dx has a closed form.
+        let r = adaptive_simpson(|x| c0 + c1 * x, a, b, 1e-12);
+        let want = c0 * (b - a) + 0.5 * c1 * (b * b - a * a);
+        prop_assert!((r.value - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn simpson_additivity(a in -3.0f64..0.0, m in 0.0f64..3.0, b in 3.0f64..6.0) {
+        // ∫_a^b = ∫_a^m + ∫_m^b on a smooth integrand.
+        let f = |x: f64| (x * 0.7).sin() * (-0.1 * x * x).exp();
+        let whole = adaptive_simpson(f, a, b, 1e-12).value;
+        let split = adaptive_simpson(f, a, m, 1e-12).value + adaptive_simpson(f, m, b, 1e-12).value;
+        prop_assert!((whole - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_agrees_with_gauss_legendre(a in -4.0f64..0.0, w in 0.5f64..6.0) {
+        let b = a + w;
+        let f = |x: f64| (1.0 + x * x).ln() * (x).cos();
+        let s = adaptive_simpson(f, a, b, 1e-12).value;
+        let g = GaussLegendre::new(48).integrate(f, a, b);
+        prop_assert!((s - g).abs() < 1e-8, "simpson={s} gl={g}");
+    }
+
+    #[test]
+    fn gaussian_mass_is_one(mu in -5.0f64..5.0, sigma in 0.05f64..4.0) {
+        // ∫ N(mu, sigma²) over ±12σ ≈ 1.
+        let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        let r = adaptive_simpson(
+            |x| norm * (-0.5 * ((x - mu) / sigma).powi(2)).exp(),
+            mu - 12.0 * sigma,
+            mu + 12.0 * sigma,
+            1e-12,
+        );
+        prop_assert!((r.value - 1.0).abs() < 1e-8, "mass={}", r.value);
+    }
+
+    #[test]
+    fn brent_root_finds_shifted_cubic(shift in -5.0f64..5.0) {
+        // x³ + x = shift has a unique real root.
+        let f = |x: f64| x * x * x + x - shift;
+        let r = brent_root(f, -10.0, 10.0, 1e-13).unwrap();
+        prop_assert!(f(r).abs() < 1e-9, "root {r}, residual {}", f(r));
+    }
+
+    #[test]
+    fn brent_max_finds_quadratic_vertex(c in -8.0f64..8.0, s in 0.1f64..5.0) {
+        let e = brent_max(|x| -s * (x - c) * (x - c) + 1.0, -10.0, 10.0, 1e-12);
+        prop_assert!((e.x - c.clamp(-10.0, 10.0)).abs() < 1e-5, "x={}, c={c}", e.x);
+    }
+
+    #[test]
+    fn grid_max_value_dominates_samples(seed in 0u64..1000) {
+        // grid_max's reported maximum is ≥ the objective at 100 probe points.
+        let f = move |x: f64| ((x + seed as f64 * 0.01).sin() * 3.0).cos() + 0.1 * x;
+        let e = grid_max(f, 0.0, 10.0, GridSpec::default());
+        for i in 0..=100 {
+            let x = 0.1 * i as f64;
+            prop_assert!(f(x) <= e.value + 1e-9, "f({x}) = {} > max {}", f(x), e.value);
+        }
+    }
+
+    #[test]
+    fn integer_argmax_dominates(lo in 0u64..10, width in 1u64..60, c in 0.0f64..50.0) {
+        let hi = lo + width;
+        let f = |n: u64| -((n as f64 - c) * (n as f64 - c));
+        let (n, v) = integer_argmax(f, lo, hi);
+        for m in lo..=hi {
+            prop_assert!(f(m) <= v, "f({m}) > f({n})");
+        }
+    }
+
+    #[test]
+    fn semi_infinite_exponential_tail(lambda in 0.2f64..3.0, a in 0.0f64..5.0) {
+        let r = integrate_to_inf(|x| lambda * (-lambda * x).exp(), a, 1e-12);
+        let want = (-lambda * a).exp();
+        prop_assert!(((r.value - want) / want).abs() < 1e-7, "got {} want {want}", r.value);
+    }
+
+    #[test]
+    fn neumaier_sum_matches_f128_like_reference(xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        // Reference: sort by magnitude ascending and sum (near-optimal order).
+        let comp = xs.iter().copied().collect::<NeumaierSum>().value();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+        let reference: f64 = sorted.iter().sum();
+        prop_assert!((comp - reference).abs() <= 1e-6 * reference.abs().max(1.0));
+    }
+}

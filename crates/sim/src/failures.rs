@@ -1,0 +1,334 @@
+//! Fail-stop errors inside a reservation — the paper's final
+//! future-work direction ("dealing with the occurrence of fail-stop
+//! errors within fixed-size reservations would be an interesting
+//! direction").
+//!
+//! The paper's setting is failure-free: the only "catastrophe" is the
+//! (deterministic) end of the reservation. This module adds the classic
+//! HPC failure model on top — fail-stop errors striking as a Poisson
+//! process with rate `λ_f` — and lets the §4 policies be evaluated
+//! against it:
+//!
+//! * a failure mid-task or mid-checkpoint destroys all work since the
+//!   last *successful* checkpoint;
+//! * execution resumes (within the same reservation) after a recovery of
+//!   stochastic duration;
+//! * intermediate checkpoints therefore become useful *during* the
+//!   reservation, not only at its end — the Young/Daly regime the
+//!   related-work section contrasts with. [`young_daly_period`] provides
+//!   the classical period and [`PeriodicCheckpointPolicy`] the matching
+//!   policy, so the two worlds can be compared in one simulator.
+
+use rand::RngCore;
+use resq_core::policy::{Action, WorkflowPolicy};
+use resq_core::workflow::task_law::TaskDuration;
+use resq_dist::{Exponential, Sample};
+
+/// The Young/Daly first-order optimal checkpoint period
+/// `sqrt(2 · μ_f · C)` where `μ_f = 1/λ_f` is the failure MTBF and `C`
+/// the (mean) checkpoint duration.
+pub fn young_daly_period(mean_checkpoint: f64, failure_rate: f64) -> f64 {
+    assert!(
+        mean_checkpoint > 0.0 && failure_rate > 0.0,
+        "Young/Daly needs positive checkpoint time and failure rate"
+    );
+    (2.0 * mean_checkpoint / failure_rate).sqrt()
+}
+
+/// Checkpoint every time the work since the last successful checkpoint
+/// reaches `period` (evaluated at task boundaries) — the Young/Daly-style
+/// baseline for the failure-prone regime.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicCheckpointPolicy {
+    /// Work between checkpoints.
+    pub period: f64,
+}
+
+impl WorkflowPolicy for PeriodicCheckpointPolicy {
+    fn decide(&self, _tasks_done: u64, work_done: f64) -> Action {
+        if work_done >= self.period {
+            Action::Checkpoint
+        } else {
+            Action::Continue
+        }
+    }
+    fn name(&self) -> &str {
+        "periodic"
+    }
+}
+
+/// Outcome of one failure-prone reservation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FailureOutcome {
+    /// Durable (checkpointed) work at the end of the reservation.
+    pub work_saved: f64,
+    /// Fail-stop errors that struck.
+    pub failures: u64,
+    /// Successful checkpoints taken.
+    pub checkpoints: u64,
+    /// Checkpoint attempts cut short by a failure or the deadline.
+    pub failed_checkpoints: u64,
+    /// Work lost to failures and the final deadline.
+    pub work_lost: f64,
+    /// Tasks completed (including ones later lost).
+    pub tasks_completed: u64,
+}
+
+/// Failure-prone workflow simulator.
+///
+/// The policy is consulted at task boundaries with
+/// `(tasks since last checkpoint, work since last checkpoint)`; on
+/// `Checkpoint` the work-in-flight becomes durable if the checkpoint
+/// finishes before both the next failure and the deadline. After a
+/// failure, a recovery delay is paid before computing resumes.
+#[derive(Debug, Clone)]
+pub struct FailureWorkflowSim<X, C, RV> {
+    /// Reservation length `R`.
+    pub reservation: f64,
+    /// Task-duration law.
+    pub task: X,
+    /// Checkpoint-duration law.
+    pub ckpt: C,
+    /// Recovery-duration law (after a mid-reservation failure).
+    pub recovery: RV,
+    /// Fail-stop error rate `λ_f` (per second); 0 disables failures.
+    pub failure_rate: f64,
+}
+
+impl<X: TaskDuration, C: Sample, RV: Sample> FailureWorkflowSim<X, C, RV> {
+    /// Draws the next failure time strictly after `now` (infinity when
+    /// failures are disabled).
+    fn next_failure(&self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        if self.failure_rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let law = Exponential::new(self.failure_rate).expect("positive rate");
+        now + law.sample(rng)
+    }
+
+    /// Runs one reservation under `policy`.
+    pub fn run_once<P: WorkflowPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        rng: &mut dyn RngCore,
+    ) -> FailureOutcome {
+        let r = self.reservation;
+        let mut out = FailureOutcome::default();
+        let mut t = 0.0f64; // wall clock within the reservation
+        let mut inflight = 0.0f64; // work since last successful checkpoint
+        let mut tasks_since = 0u64;
+        let mut next_fail = self.next_failure(0.0, rng);
+
+        loop {
+            if t >= r {
+                out.work_lost += inflight;
+                return out;
+            }
+            if policy.decide(tasks_since, inflight) == Action::Checkpoint {
+                let c = self.ckpt.sample(rng).max(0.0);
+                let end = t + c;
+                if end > r || end > next_fail {
+                    // Deadline or failure interrupts the checkpoint.
+                    out.failed_checkpoints += 1;
+                    if end > next_fail && next_fail < r {
+                        // Failure: lose in-flight work, recover, go on.
+                        out.failures += 1;
+                        out.work_lost += inflight;
+                        inflight = 0.0;
+                        tasks_since = 0;
+                        t = next_fail + self.recovery.sample(rng).max(0.0);
+                        next_fail = self.next_failure(next_fail, rng);
+                        continue;
+                    }
+                    // Deadline: reservation over, in-flight lost.
+                    out.work_lost += inflight;
+                    return out;
+                }
+                // Checkpoint succeeded.
+                t = end;
+                out.checkpoints += 1;
+                out.work_saved += inflight;
+                inflight = 0.0;
+                tasks_since = 0;
+                // After a successful end-of-reservation checkpoint the §4
+                // policies stop; but a *periodic* policy keeps computing.
+                // We keep consulting the policy; to terminate, §4 policies
+                // return Checkpoint with zero in-flight work — break then.
+                if policy.decide(0, 0.0) == Action::Checkpoint {
+                    return out;
+                }
+                continue;
+            }
+            // Run one task.
+            let x = self.task.draw(rng).max(0.0);
+            let end = t + x;
+            if end > next_fail && next_fail < r {
+                // Failure mid-task.
+                out.failures += 1;
+                out.work_lost += inflight;
+                inflight = 0.0;
+                tasks_since = 0;
+                t = next_fail + self.recovery.sample(rng).max(0.0);
+                next_fail = self.next_failure(next_fail, rng);
+                continue;
+            }
+            if end > r {
+                out.work_lost += inflight;
+                return out;
+            }
+            t = end;
+            inflight += x;
+            tasks_since += 1;
+            out.tasks_completed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{run_trials, MonteCarloConfig};
+    use crate::workflow::WorkflowSim;
+    use resq_core::policy::ThresholdWorkflowPolicy;
+    use resq_dist::{Constant, Normal, Truncated, Xoshiro256pp};
+
+    type TN = Truncated<Normal>;
+
+    fn tn(mu: f64, sigma: f64) -> TN {
+        Truncated::above(Normal::new(mu, sigma).unwrap(), 0.0).unwrap()
+    }
+
+    fn sim(rate: f64) -> FailureWorkflowSim<TN, TN, Constant> {
+        FailureWorkflowSim {
+            reservation: 29.0,
+            task: tn(3.0, 0.5),
+            ckpt: tn(5.0, 0.4),
+            recovery: Constant::new(1.0).unwrap(),
+            failure_rate: rate,
+        }
+    }
+
+    #[test]
+    fn young_daly_formula() {
+        // sqrt(2 · C / λ): C = 5, λ = 0.01 → sqrt(1000) ≈ 31.6.
+        let p = young_daly_period(5.0, 0.01);
+        assert!((p - 1000.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive checkpoint")]
+    fn young_daly_rejects_bad_input() {
+        let _ = young_daly_period(0.0, 0.01);
+    }
+
+    #[test]
+    fn zero_failure_rate_matches_plain_simulator() {
+        // With λ_f = 0 the failure simulator must reproduce the plain
+        // workflow simulator's expected saved work.
+        let fsim = sim(0.0);
+        let psim = WorkflowSim {
+            reservation: 29.0,
+            task: tn(3.0, 0.5),
+            ckpt: tn(5.0, 0.4),
+        };
+        let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let cfg = MonteCarloConfig {
+            trials: 100_000,
+            seed: 21,
+            threads: 0,
+        };
+        let a = run_trials(cfg, |_, rng| fsim.run_once(&policy, rng).work_saved);
+        let b = run_trials(cfg, |_, rng| psim.run_once(&policy, rng).work_saved);
+        assert!(
+            (a.mean - b.mean).abs() < a.ci999_half_width() + b.ci999_half_width(),
+            "failure-sim {} vs plain {}",
+            a.mean,
+            b.mean
+        );
+    }
+
+    #[test]
+    fn failures_reduce_saved_work_monotonically() {
+        let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let cfg = MonteCarloConfig {
+            trials: 50_000,
+            seed: 22,
+            threads: 0,
+        };
+        let mut prev = f64::INFINITY;
+        for rate in [0.0, 0.02, 0.05, 0.1] {
+            let s = run_trials(cfg, |_, rng| sim(rate).run_once(&policy, rng).work_saved);
+            assert!(
+                s.mean < prev + 0.2,
+                "rate {rate}: {} not decreasing (prev {prev})",
+                s.mean
+            );
+            prev = s.mean;
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_help_under_high_failure_rate() {
+        // With MTBF ≈ 20 s < R = 29 s, the single-end-checkpoint strategy
+        // usually loses everything; Young/Daly periodic checkpointing
+        // salvages work.
+        let rate = 0.05;
+        let fsim = sim(rate);
+        let single = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let periodic = PeriodicCheckpointPolicy {
+            period: young_daly_period(5.0, rate),
+        };
+        let cfg = MonteCarloConfig {
+            trials: 50_000,
+            seed: 23,
+            threads: 0,
+        };
+        let s_single = run_trials(cfg, |_, rng| fsim.run_once(&single, rng).work_saved);
+        let s_periodic = run_trials(cfg, |_, rng| fsim.run_once(&periodic, rng).work_saved);
+        assert!(
+            s_periodic.mean > s_single.mean,
+            "periodic {} <= single {}",
+            s_periodic.mean,
+            s_single.mean
+        );
+    }
+
+    #[test]
+    fn outcome_accounting_consistent() {
+        let fsim = sim(0.05);
+        let policy = PeriodicCheckpointPolicy { period: 9.0 };
+        let mut rng = Xoshiro256pp::new(9);
+        for _ in 0..500 {
+            let out = fsim.run_once(&policy, &mut rng);
+            assert!(out.work_saved >= 0.0);
+            assert!(out.work_saved + out.work_lost <= 29.0 + 1e-9);
+            assert!(out.work_saved <= 29.0);
+            if out.checkpoints == 0 {
+                assert_eq!(out.work_saved, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_times_are_poisson() {
+        // Mean failures over the reservation ≈ λ_f · R (computation keeps
+        // running through failures here because the policy never stops
+        // and recovery is short).
+        let fsim = sim(0.1);
+        let policy = PeriodicCheckpointPolicy { period: 6.0 };
+        let cfg = MonteCarloConfig {
+            trials: 50_000,
+            seed: 24,
+            threads: 0,
+        };
+        let s = run_trials(cfg, |_, rng| fsim.run_once(&policy, rng).failures as f64);
+        // Not exactly λR because recovery pauses the clock exposure; the
+        // count must land in the plausible band [0.6·λR, 1.1·λR].
+        let lam_r = 0.1 * 29.0;
+        assert!(
+            s.mean > 0.6 * lam_r && s.mean < 1.1 * lam_r,
+            "failures {} vs λR {lam_r}",
+            s.mean
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Parallel Monte-Carlo trial runner.
+//!
+//! Trials are embarrassingly parallel; the only subtlety is
+//! **reproducibility**: results must not depend on the number of worker
+//! threads. Each trial `i` therefore gets its own RNG
+//! `Xoshiro256pp::for_stream(seed, i)` derived from `(seed, i)` alone,
+//! and trials are partitioned over crossbeam scoped threads in
+//! contiguous chunks, with per-thread [`Welford`] accumulators merged in
+//! deterministic order at the end.
+
+use crate::stats::{Summary, Welford};
+use resq_dist::Xoshiro256pp;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloConfig {
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Base seed; trial `i` uses the derived stream `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads; `0` means "use available parallelism".
+    pub threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            trials: 100_000,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `config.trials` independent trials of `trial` (a function of the
+/// trial index and its private RNG returning one scalar metric) and
+/// reduces them to a [`Summary`].
+///
+/// Deterministic for fixed `(trials, seed)` regardless of `threads`.
+///
+/// ```
+/// use resq_dist::{Normal, Sample};
+/// use resq_sim::{run_trials, MonteCarloConfig};
+///
+/// let law = Normal::new(5.0, 0.4)?;
+/// let cfg = MonteCarloConfig { trials: 50_000, seed: 1, threads: 0 };
+/// let s = run_trials(cfg, |_, rng| law.sample(rng));
+/// assert!((s.mean - 5.0).abs() < 0.01);
+/// assert!(s.ci95_contains(5.0));
+/// # Ok::<(), resq_dist::DistError>(())
+/// ```
+pub fn run_trials<F>(config: MonteCarloConfig, trial: F) -> Summary
+where
+    F: Fn(u64, &mut Xoshiro256pp) -> f64 + Sync,
+{
+    // Fixed-size chunks (independent of thread count) accumulated into
+    // per-chunk Welfords and merged in chunk order — bit-identical
+    // results whether 1 or 64 workers run them.
+    const CHUNK: u64 = 4096;
+    let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
+    let run_chunk = |c: usize| {
+        let lo = c as u64 * CHUNK;
+        let hi = (lo + CHUNK).min(config.trials);
+        let mut acc = Welford::new();
+        for i in lo..hi {
+            let mut rng = Xoshiro256pp::for_stream(config.seed, i);
+            acc.add(trial(i, &mut rng));
+        }
+        acc
+    };
+
+    let threads = config.resolved_threads().max(1).min(n_chunks);
+    let mut partials: Vec<Welford> = vec![Welford::new(); n_chunks];
+    if threads == 1 {
+        for (c, slot) in partials.iter_mut().enumerate() {
+            *slot = run_chunk(c);
+        }
+    } else {
+        crossbeam::scope(|scope| {
+            // Hand out (chunk index, output slot) pairs through a channel
+            // so slots are written exactly once without locking.
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, &mut Welford)>();
+            for (c, slot) in partials.iter_mut().enumerate() {
+                tx.send((c, slot)).expect("channel send");
+            }
+            drop(tx);
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let run_chunk = &run_chunk;
+                scope.spawn(move |_| {
+                    while let Ok((c, slot)) = rx.recv() {
+                        *slot = run_chunk(c);
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope failed");
+    }
+
+    let mut total = Welford::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    total.summary()
+}
+
+/// Like [`run_trials`] but collects a full per-trial value of any `Send`
+/// type, in trial order — for histograms, event inspection, or metrics
+/// beyond a scalar.
+pub fn run_trials_with<T, F>(config: MonteCarloConfig, trial: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(u64, &mut Xoshiro256pp) -> T + Sync,
+{
+    let threads = config.resolved_threads().max(1);
+    let n = config.trials as usize;
+    let mut out = vec![T::default(); n];
+    if threads == 1 || config.trials < 1024 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut rng = Xoshiro256pp::for_stream(config.seed, i as u64);
+            *slot = trial(i as u64, &mut rng);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            let trial = &trial;
+            let lo = (t * chunk) as u64;
+            scope.spawn(move |_| {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    let i = lo + j as u64;
+                    let mut rng = Xoshiro256pp::for_stream(config.seed, i);
+                    *slot = trial(i, &mut rng);
+                }
+            });
+        }
+    })
+    .expect("crossbeam scope failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resq_dist::{Normal, Sample};
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let law = Normal::new(3.0, 0.5).unwrap();
+        let run = |threads| {
+            run_trials(
+                MonteCarloConfig {
+                    trials: 20_000,
+                    seed: 7,
+                    threads,
+                },
+                |_, rng| law.sample(rng),
+            )
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        let s7 = run(7);
+        assert_eq!(s1.mean, s4.mean, "1 vs 4 threads");
+        assert_eq!(s4.mean, s7.mean, "4 vs 7 threads");
+        assert_eq!(s1.std_dev, s7.std_dev);
+    }
+
+    #[test]
+    fn recovers_known_mean() {
+        let law = Normal::new(5.0, 0.4).unwrap();
+        let s = run_trials(
+            MonteCarloConfig {
+                trials: 200_000,
+                seed: 11,
+                threads: 0,
+            },
+            |_, rng| law.sample(rng),
+        );
+        assert!(
+            (s.mean - 5.0).abs() < s.ci999_half_width() + 1e-9,
+            "mean {} vs 5.0",
+            s.mean
+        );
+        assert!((s.std_dev - 0.4).abs() < 0.01);
+        assert_eq!(s.n, 200_000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let law = Normal::new(0.0, 1.0).unwrap();
+        let mk = |seed| {
+            run_trials(
+                MonteCarloConfig {
+                    trials: 5000,
+                    seed,
+                    threads: 2,
+                },
+                |_, rng| law.sample(rng),
+            )
+        };
+        assert_ne!(mk(1).mean, mk(2).mean);
+    }
+
+    #[test]
+    fn run_trials_with_preserves_order() {
+        let out: Vec<f64> = run_trials_with(
+            MonteCarloConfig {
+                trials: 5000,
+                seed: 3,
+                threads: 4,
+            },
+            |i, _| i as f64,
+        );
+        assert_eq!(out.len(), 5000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn run_trials_with_matches_scalar_runner() {
+        let law = Normal::new(2.0, 1.0).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 3000,
+            seed: 5,
+            threads: 3,
+        };
+        let summary = run_trials(cfg, |_, rng| law.sample(rng));
+        let values: Vec<f64> = run_trials_with(cfg, |_, rng| law.sample(rng));
+        let w: crate::stats::Welford = values.into_iter().collect();
+        assert!((summary.mean - w.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_runs_take_serial_path() {
+        let s = run_trials(
+            MonteCarloConfig {
+                trials: 10,
+                seed: 1,
+                threads: 8,
+            },
+            |i, _| i as f64,
+        );
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,518 @@
+//! Single-reservation execution of §4 (workflow) policies.
+//!
+//! One trial: tasks with IID sampled durations run back-to-back from
+//! time 0. At the end of each task the policy is consulted; on
+//! [`Action::Checkpoint`] a checkpoint duration is sampled and success
+//! means `elapsed + C ≤ R`. A task that would finish after `R` never
+//! completes — the reservation expires mid-task and everything is lost
+//! (unless a checkpoint already succeeded, which ends the trial in this
+//! single-shot simulator; for §4.4 continuation see [`crate::campaign`]).
+
+use rand::RngCore;
+use resq_core::policy::{Action, WorkflowPolicy};
+use resq_core::workflow::task_law::TaskDuration;
+use resq_dist::Sample;
+
+/// Outcome of one simulated workflow reservation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkflowOutcome {
+    /// Work saved by the final checkpoint (0 if it failed or was never
+    /// taken).
+    pub work_saved: f64,
+    /// Tasks completed before the checkpoint decision (or before the
+    /// reservation expired).
+    pub tasks_completed: u64,
+    /// Total work accumulated when the checkpoint was attempted.
+    pub work_at_checkpoint: f64,
+    /// Whether a checkpoint was attempted at all.
+    pub checkpoint_attempted: bool,
+    /// Whether the checkpoint succeeded.
+    pub checkpoint_succeeded: bool,
+    /// Sampled checkpoint duration (0 if never attempted).
+    pub checkpoint_duration: f64,
+    /// Reservation time consumed, capped at `R`.
+    pub time_used: f64,
+}
+
+/// Simulator for the §4 scenario.
+#[derive(Debug, Clone)]
+pub struct WorkflowSim<X, C> {
+    /// Reservation length `R`.
+    pub reservation: f64,
+    /// Task-duration law `D_X`.
+    pub task: X,
+    /// Checkpoint-duration law `D_C`.
+    pub ckpt: C,
+}
+
+impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
+    /// Runs one trial under `policy`.
+    ///
+    /// `max_tasks` bounds runaway policies that never checkpoint (the
+    /// reservation-expiry check also terminates, so this is a pure
+    /// safety net).
+    pub fn run_once<P: WorkflowPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        rng: &mut dyn RngCore,
+    ) -> WorkflowOutcome {
+        let r = self.reservation;
+        let mut elapsed = 0.0f64;
+        let mut tasks = 0u64;
+        loop {
+            // Consult the policy at the current boundary (including the
+            // start: a policy may checkpoint before any task — useless
+            // but legal).
+            if policy.decide(tasks, elapsed) == Action::Checkpoint {
+                let c = self.ckpt.sample(rng);
+                let succeeded = elapsed + c <= r;
+                return WorkflowOutcome {
+                    work_saved: if succeeded { elapsed } else { 0.0 },
+                    tasks_completed: tasks,
+                    work_at_checkpoint: elapsed,
+                    checkpoint_attempted: true,
+                    checkpoint_succeeded: succeeded,
+                    checkpoint_duration: c,
+                    time_used: if succeeded { elapsed + c } else { r },
+                };
+            }
+            // Run one more task.
+            let x = self.task.draw(rng).max(0.0);
+            if elapsed + x > r {
+                // Reservation expires mid-task: everything is lost.
+                return WorkflowOutcome {
+                    work_saved: 0.0,
+                    tasks_completed: tasks,
+                    work_at_checkpoint: elapsed,
+                    checkpoint_attempted: false,
+                    checkpoint_succeeded: false,
+                    checkpoint_duration: 0.0,
+                    time_used: r,
+                };
+            }
+            elapsed += x;
+            tasks += 1;
+        }
+    }
+}
+
+impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
+    /// Clairvoyant oracle for the workflow scenario: sees the whole task
+    /// stream *and* the checkpoint duration in advance, and stops after
+    /// the `k` maximizing the saved work subject to `S_k + C ≤ R`.
+    ///
+    /// Upper-bounds every implementable §4 policy; useful as the
+    /// normalization in policy comparisons (the workflow analogue of the
+    /// §3 oracle `R − E[C]`, further reduced by task-boundary
+    /// quantization).
+    pub fn run_oracle(&self, rng: &mut dyn RngCore) -> WorkflowOutcome {
+        let r = self.reservation;
+        let c = self.ckpt.sample(rng).max(0.0);
+        let mut elapsed = 0.0f64;
+        let mut best = 0.0f64;
+        let mut best_k = 0u64;
+        let mut k = 0u64;
+        loop {
+            let x = self.task.draw(rng).max(0.0);
+            if elapsed + x > r {
+                break;
+            }
+            elapsed += x;
+            k += 1;
+            if elapsed + c <= r && elapsed > best {
+                best = elapsed;
+                best_k = k;
+            }
+        }
+        let attempted = best > 0.0;
+        WorkflowOutcome {
+            work_saved: best,
+            tasks_completed: best_k,
+            work_at_checkpoint: best,
+            checkpoint_attempted: attempted,
+            checkpoint_succeeded: attempted,
+            checkpoint_duration: c,
+            time_used: if attempted { best + c } else { r },
+        }
+    }
+}
+
+/// One event in a traced workflow reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A task completed: `(end_time, duration)`.
+    TaskCompleted {
+        /// Wall-clock time within the reservation at completion.
+        at: f64,
+        /// Sampled task duration.
+        duration: f64,
+    },
+    /// The policy requested a checkpoint at the given time/work level.
+    CheckpointStarted {
+        /// Start time of the checkpoint.
+        at: f64,
+        /// Work covered by the checkpoint.
+        work: f64,
+    },
+    /// The checkpoint finished inside the reservation.
+    CheckpointSucceeded {
+        /// Completion time.
+        at: f64,
+    },
+    /// The reservation expired (mid-task or mid-checkpoint).
+    ReservationExpired {
+        /// Work lost.
+        lost: f64,
+    },
+}
+
+impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
+    /// Like [`WorkflowSim::run_once`], additionally recording the event
+    /// sequence — for debugging policies and post-mortem analysis of why
+    /// a reservation lost its work.
+    pub fn run_traced<P: WorkflowPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        rng: &mut dyn RngCore,
+    ) -> (WorkflowOutcome, Vec<SimEvent>) {
+        let r = self.reservation;
+        let mut events = Vec::new();
+        let mut elapsed = 0.0f64;
+        let mut tasks = 0u64;
+        loop {
+            if policy.decide(tasks, elapsed) == Action::Checkpoint {
+                let c = self.ckpt.sample(rng);
+                events.push(SimEvent::CheckpointStarted {
+                    at: elapsed,
+                    work: elapsed,
+                });
+                let succeeded = elapsed + c <= r;
+                if succeeded {
+                    events.push(SimEvent::CheckpointSucceeded { at: elapsed + c });
+                } else {
+                    events.push(SimEvent::ReservationExpired { lost: elapsed });
+                }
+                return (
+                    WorkflowOutcome {
+                        work_saved: if succeeded { elapsed } else { 0.0 },
+                        tasks_completed: tasks,
+                        work_at_checkpoint: elapsed,
+                        checkpoint_attempted: true,
+                        checkpoint_succeeded: succeeded,
+                        checkpoint_duration: c,
+                        time_used: if succeeded { elapsed + c } else { r },
+                    },
+                    events,
+                );
+            }
+            let x = self.task.draw(rng).max(0.0);
+            if elapsed + x > r {
+                events.push(SimEvent::ReservationExpired { lost: elapsed });
+                return (
+                    WorkflowOutcome {
+                        work_saved: 0.0,
+                        tasks_completed: tasks,
+                        work_at_checkpoint: elapsed,
+                        checkpoint_attempted: false,
+                        checkpoint_succeeded: false,
+                        checkpoint_duration: 0.0,
+                        time_used: r,
+                    },
+                    events,
+                );
+            }
+            elapsed += x;
+            tasks += 1;
+            events.push(SimEvent::TaskCompleted {
+                at: elapsed,
+                duration: x,
+            });
+        }
+    }
+}
+
+/// Convenience wrapper: one §4 trial.
+pub fn simulate_workflow<X: TaskDuration, C: Sample, P: WorkflowPolicy + ?Sized>(
+    reservation: f64,
+    task: &X,
+    ckpt: &C,
+    policy: &P,
+    rng: &mut dyn RngCore,
+) -> WorkflowOutcome
+where
+    X: Clone,
+    C: Clone,
+{
+    WorkflowSim {
+        reservation,
+        task: task.clone(),
+        ckpt: ckpt.clone(),
+    }
+    .run_once(policy, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{run_trials, MonteCarloConfig};
+    use resq_core::policy::{StaticWorkflowPolicy, ThresholdWorkflowPolicy};
+    use resq_core::{DynamicStrategy, StaticStrategy};
+    use resq_dist::{Normal, Truncated, Xoshiro256pp};
+
+    type TN = Truncated<Normal>;
+
+    fn tn(mu: f64, sigma: f64) -> TN {
+        Truncated::above(Normal::new(mu, sigma).unwrap(), 0.0).unwrap()
+    }
+
+    /// Paper Fig 5/8 parameters.
+    fn sim_fig8() -> WorkflowSim<TN, TN> {
+        WorkflowSim {
+            reservation: 29.0,
+            task: tn(3.0, 0.5),
+            ckpt: tn(5.0, 0.4),
+        }
+    }
+
+    #[test]
+    fn static_policy_runs_exactly_n_tasks() {
+        let sim = sim_fig8();
+        let policy = StaticWorkflowPolicy { n_opt: 5 };
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..200 {
+            let out = sim.run_once(&policy, &mut rng);
+            // Tasks ≈ 3s each, 5 tasks ≈ 15s < 29: always reaches n_opt.
+            assert_eq!(out.tasks_completed, 5);
+            assert!(out.checkpoint_attempted);
+            // ~15 + 5 < 29: essentially always succeeds.
+            assert!(out.checkpoint_succeeded);
+            assert!((out.work_saved - out.work_at_checkpoint).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expired_reservation_loses_everything() {
+        let sim = sim_fig8();
+        // Never checkpoints → expires mid-task.
+        struct Never;
+        impl WorkflowPolicy for Never {
+            fn decide(&self, _: u64, _: f64) -> Action {
+                Action::Continue
+            }
+            fn name(&self) -> &str {
+                "never"
+            }
+        }
+        let mut rng = Xoshiro256pp::new(2);
+        let out = sim.run_once(&Never, &mut rng);
+        assert_eq!(out.work_saved, 0.0);
+        assert!(!out.checkpoint_attempted);
+        assert_eq!(out.time_used, 29.0);
+        // ~29/3 tasks fitted.
+        assert!((8..=10).contains(&out.tasks_completed), "{}", out.tasks_completed);
+    }
+
+    #[test]
+    fn checkpoint_too_late_fails() {
+        let sim = sim_fig8();
+        // Checkpoint only when work ≥ 27 (leaves < mean C): usually fails.
+        let policy = ThresholdWorkflowPolicy { threshold: 27.0 };
+        let s = run_trials(
+            MonteCarloConfig {
+                trials: 20_000,
+                seed: 3,
+                threads: 0,
+            },
+            |_, rng| {
+                let out = sim.run_once(&policy, rng);
+                out.checkpoint_succeeded as u64 as f64
+            },
+        );
+        assert!(s.mean < 0.05, "success rate {}", s.mean);
+    }
+
+    #[test]
+    fn static_simulated_mean_matches_analytic_en() {
+        // Validation of Equation (3): simulated saved work under the
+        // static policy ≈ E(n) for several n (Fig 5 parameters).
+        let sim = sim_fig8();
+        // The paper's E(n) assumes plain-Normal tasks; our simulator draws
+        // truncated-Normal tasks. At μ/σ = 6 the truncation mass is ~1e-9,
+        // so the analytic Normal model applies to the simulated data.
+        let analytic = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            tn(5.0, 0.4),
+            29.0,
+        )
+        .unwrap();
+        for &n in &[5u64, 7, 8] {
+            let policy = StaticWorkflowPolicy { n_opt: n };
+            let s = run_trials(
+                MonteCarloConfig {
+                    trials: 300_000,
+                    seed: 100 + n,
+                    threads: 0,
+                },
+                |_, rng| sim.run_once(&policy, rng).work_saved,
+            );
+            let want = analytic.expected_work(n);
+            assert!(
+                (s.mean - want).abs() < s.ci999_half_width() + 1e-6,
+                "n={n}: simulated {} vs analytic {want} (±{})",
+                s.mean,
+                s.ci999_half_width()
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_threshold_beats_static_on_fig8_parameters() {
+        // The paper's motivation for §4.3: accounting for observed work
+        // can only help (in expectation).
+        let sim = sim_fig8();
+        let static_plan = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            tn(5.0, 0.4),
+            29.0,
+        )
+        .unwrap()
+        .optimize();
+        let dynamic = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), 29.0).unwrap();
+        let threshold = ThresholdWorkflowPolicy {
+            threshold: dynamic.threshold().unwrap(),
+        };
+        let static_policy = StaticWorkflowPolicy {
+            n_opt: static_plan.n_opt,
+        };
+        let cfg = MonteCarloConfig {
+            trials: 400_000,
+            seed: 77,
+            threads: 0,
+        };
+        let s_static = run_trials(cfg, |_, rng| sim.run_once(&static_policy, rng).work_saved);
+        let s_dynamic = run_trials(cfg, |_, rng| sim.run_once(&threshold, rng).work_saved);
+        assert!(
+            s_dynamic.mean >= s_static.mean - s_dynamic.ci999_half_width(),
+            "dynamic {} < static {}",
+            s_dynamic.mean,
+            s_static.mean
+        );
+    }
+
+    #[test]
+    fn oracle_dominates_every_policy() {
+        let sim = sim_fig8();
+        let cfg = MonteCarloConfig {
+            trials: 100_000,
+            seed: 500,
+            threads: 0,
+        };
+        let s_oracle = run_trials(cfg, |_, rng| sim.run_oracle(rng).work_saved);
+        let s_dynamic = run_trials(cfg, |_, rng| {
+            sim.run_once(&ThresholdWorkflowPolicy { threshold: 20.26 }, rng)
+                .work_saved
+        });
+        assert!(
+            s_oracle.mean > s_dynamic.mean,
+            "oracle {} <= dynamic {}",
+            s_oracle.mean,
+            s_dynamic.mean
+        );
+        // And it respects the §3-style bound R − E[C] ≈ 24.
+        assert!(s_oracle.mean < 24.0, "oracle {} too high", s_oracle.mean);
+        // For these parameters the dynamic rule is near-oracle (< 6% gap).
+        assert!(
+            s_dynamic.mean > 0.94 * s_oracle.mean,
+            "dynamic {} far below oracle {}",
+            s_dynamic.mean,
+            s_oracle.mean
+        );
+    }
+
+    #[test]
+    fn oracle_outcome_accounting() {
+        let sim = sim_fig8();
+        let mut rng = Xoshiro256pp::new(501);
+        for _ in 0..1000 {
+            let out = sim.run_oracle(&mut rng);
+            assert!(out.work_saved >= 0.0);
+            if out.checkpoint_succeeded {
+                assert!(out.work_saved + out.checkpoint_duration <= 29.0 + 1e-9);
+                assert!(out.tasks_completed > 0);
+            } else {
+                assert_eq!(out.work_saved, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_is_consistent_with_outcome() {
+        let sim = sim_fig8();
+        let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let mut rng = Xoshiro256pp::new(77);
+        for _ in 0..500 {
+            let (out, events) = sim.run_traced(&policy, &mut rng);
+            // Event count: one per task + checkpoint start (+ outcome).
+            let task_events = events
+                .iter()
+                .filter(|e| matches!(e, SimEvent::TaskCompleted { .. }))
+                .count() as u64;
+            assert_eq!(task_events, out.tasks_completed);
+            // Event times are non-decreasing.
+            let mut last = 0.0;
+            for e in &events {
+                let t = match e {
+                    SimEvent::TaskCompleted { at, .. } => *at,
+                    SimEvent::CheckpointStarted { at, .. } => *at,
+                    SimEvent::CheckpointSucceeded { at } => *at,
+                    SimEvent::ReservationExpired { .. } => last,
+                };
+                assert!(t >= last - 1e-12, "time went backwards: {events:?}");
+                last = t;
+            }
+            // Terminal event matches the outcome.
+            match events.last().unwrap() {
+                SimEvent::CheckpointSucceeded { at } => {
+                    assert!(out.checkpoint_succeeded);
+                    assert!((at - out.time_used).abs() < 1e-12);
+                }
+                SimEvent::ReservationExpired { lost } => {
+                    assert!(!out.checkpoint_succeeded);
+                    assert!((lost - out.work_at_checkpoint).abs() < 1e-12);
+                }
+                other => panic!("non-terminal last event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traced_and_plain_runs_agree_given_same_stream() {
+        let sim = sim_fig8();
+        let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let mut r1 = Xoshiro256pp::new(123);
+        let mut r2 = Xoshiro256pp::new(123);
+        for _ in 0..200 {
+            let plain = sim.run_once(&policy, &mut r1);
+            let (traced, _) = sim.run_traced(&policy, &mut r2);
+            assert_eq!(plain, traced);
+        }
+    }
+
+    #[test]
+    fn outcome_conservation_laws() {
+        // Saved work never exceeds work done; time used never exceeds R.
+        let sim = sim_fig8();
+        let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+        let mut rng = Xoshiro256pp::new(5);
+        for _ in 0..2000 {
+            let out = sim.run_once(&policy, &mut rng);
+            assert!(out.work_saved <= out.work_at_checkpoint + 1e-12);
+            assert!(out.time_used <= 29.0 + 1e-9);
+            assert!(out.work_at_checkpoint <= 29.0);
+            if out.checkpoint_succeeded {
+                assert!(out.checkpoint_attempted);
+                assert!(out.work_at_checkpoint + out.checkpoint_duration <= 29.0 + 1e-9);
+            }
+        }
+    }
+}

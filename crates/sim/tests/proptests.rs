@@ -1,0 +1,110 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use resq_core::policy::{FixedLeadPolicy, ThresholdWorkflowPolicy};
+use resq_dist::{Normal, Truncated, Uniform, Xoshiro256pp};
+use resq_sim::{
+    run_trials, FailureWorkflowSim, MonteCarloConfig, PreemptibleSim, Welford, WorkflowSim,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn welford_merge_is_order_independent(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 1usize..99,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let whole: Welford = xs.iter().copied().collect();
+        let mut left: Welford = xs[..split].iter().copied().collect();
+        let right: Welford = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert_eq!(left.count(), whole.count());
+        if xs.len() >= 2 {
+            prop_assert!((left.variance() - whole.variance()).abs() < 1e-7 * whole.variance().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_thread_count_invariance(
+        trials in 1000u64..20_000,
+        seed in 0u64..100,
+        t1 in 1usize..6,
+        t2 in 1usize..6,
+    ) {
+        let law = Normal::new(3.0, 0.5).unwrap();
+        let run = |threads| {
+            run_trials(
+                MonteCarloConfig { trials, seed, threads },
+                |_, rng| resq_dist::Sample::sample(&law, rng),
+            )
+        };
+        let a = run(t1);
+        let b = run(t2);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "means differ across thread counts");
+        prop_assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+    }
+
+    #[test]
+    fn preemptible_mean_between_extremes(
+        lead_frac in 0.05f64..0.95,
+        seed in 0u64..200,
+    ) {
+        // Simulated mean saved work always lies in [0, R].
+        let r = 10.0;
+        let sim = PreemptibleSim {
+            reservation: r,
+            ckpt: Uniform::new(1.0, 7.5).unwrap(),
+        };
+        let policy = FixedLeadPolicy::new("p", lead_frac * r);
+        let s = run_trials(
+            MonteCarloConfig { trials: 2000, seed, threads: 1 },
+            |_, rng| sim.run_once(&policy, rng).work_saved,
+        );
+        prop_assert!(s.mean >= 0.0 && s.mean <= r);
+        prop_assert!(s.min >= 0.0 && s.max <= r);
+    }
+
+    #[test]
+    fn workflow_tasks_bounded_by_time(seed in 0u64..500) {
+        // Tasks completed × (min plausible task) ≤ R.
+        let r = 29.0;
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let sim = WorkflowSim { reservation: r, task, ckpt };
+        let policy = ThresholdWorkflowPolicy { threshold: 45.0 }; // never fires
+        let mut rng = Xoshiro256pp::new(seed);
+        let out = sim.run_once(&policy, &mut rng);
+        prop_assert!(out.tasks_completed as f64 * 1.0 <= r);
+        prop_assert!(!out.checkpoint_attempted);
+    }
+
+    #[test]
+    fn failure_sim_work_conservation(
+        rate in 0.0f64..0.2,
+        threshold in 5.0f64..25.0,
+        seed in 0u64..200,
+    ) {
+        let r = 29.0;
+        let fsim = FailureWorkflowSim {
+            reservation: r,
+            task: Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap(),
+            ckpt: Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap(),
+            recovery: resq_dist::Constant::new(1.0).unwrap(),
+            failure_rate: rate,
+        };
+        let policy = ThresholdWorkflowPolicy { threshold };
+        let mut rng = Xoshiro256pp::new(seed);
+        for _ in 0..8 {
+            let out = fsim.run_once(&policy, &mut rng);
+            prop_assert!(out.work_saved >= 0.0);
+            prop_assert!(out.work_saved + out.work_lost <= r + 1e-9,
+                "saved {} + lost {} > R", out.work_saved, out.work_lost);
+            if rate == 0.0 {
+                prop_assert_eq!(out.failures, 0);
+            }
+        }
+    }
+}

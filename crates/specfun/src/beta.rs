@@ -1,0 +1,257 @@
+//! Beta function family: [`ln_beta`], the regularized incomplete beta
+//! function [`inc_beta`] and its inverse [`inv_inc_beta`].
+//!
+//! Used by `resq-dist` for Beta-distributed workloads and for exact
+//! binomial tail probabilities in the Monte-Carlo validation harness
+//! (a Clopper–Pearson-style check that empirical checkpoint success rates
+//! match the analytic `P(C ≤ X)`).
+
+use crate::gamma::ln_gamma;
+
+const EPS: f64 = 1e-15;
+const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+const MAX_ITER: usize = 400;
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`, for `a, b > 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    if !(a > 0.0) || !(b > 0.0) {
+        return f64::NAN;
+    }
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Continued fraction for the incomplete beta (Numerical-Recipes `betacf`,
+/// modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`, the CDF of the
+/// `Beta(a, b)` law at `x ∈ [0, 1]`. Requires `a, b > 0`.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if !(a > 0.0) || !(b > 0.0) || !(0.0..=1.0).contains(&x) {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Inverse of [`inc_beta`] in `x`: the `x ∈ [0, 1]` with `I_x(a, b) = p`.
+///
+/// Newton iteration from a Normal/Abramowitz–Stegun 26.5.22 initial guess,
+/// safeguarded by bisection.
+pub fn inv_inc_beta(a: f64, b: f64, p: f64) -> f64 {
+    if !(a > 0.0) || !(b > 0.0) || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+
+    // A&S 26.5.22 initial estimate.
+    let z = crate::normal::norm_quantile(p);
+    let al = 1.0 / (2.0 * a - 1.0);
+    let be = 1.0 / (2.0 * b - 1.0);
+    let mut x = if a >= 1.0 && b >= 1.0 {
+        let h = 2.0 / (al + be);
+        let w = z * (h + (z * z - 3.0) / 6.0).sqrt() / h
+            - (be - al) * ((z * z - 3.0) / 6.0 + 5.0 / 6.0 - 2.0 / (3.0 * h));
+        a / (a + b * (2.0 * w).exp())
+    } else {
+        // Crude but bracketed starting point.
+        let lna = (a / (a + b)).ln();
+        let lnb = (b / (a + b)).ln();
+        let t = (a * lna).exp() / a;
+        let u = (b * lnb).exp() / b;
+        let w = t + u;
+        if p < t / w {
+            (a * w * p).powf(1.0 / a)
+        } else {
+            1.0 - (b * w * (1.0 - p)).powf(1.0 / b)
+        }
+    };
+    x = x.clamp(1e-300, 1.0 - 1e-16);
+
+    let ln_b = ln_beta(a, b);
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..100 {
+        let f = inc_beta(a, b, x) - p;
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        if f.abs() < 1e-14 {
+            break;
+        }
+        let ln_pdf = (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_b;
+        let mut next = x - f * (-ln_pdf).exp();
+        if !(next > lo) || !(next < hi) {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() <= 1e-16 * x {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_beta_symmetry_and_values() {
+        // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+        assert!(ln_beta(1.0, 1.0).abs() < 1e-14);
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-13);
+        assert!((ln_beta(0.5, 0.5) - std::f64::consts::PI.ln()).abs() < 1e-13);
+        assert!((ln_beta(3.7, 9.1) - ln_beta(9.1, 3.7)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn inc_beta_uniform_special_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert!((inc_beta(1.0, 1.0, x) - x).abs() < 1e-14, "x={x}");
+        }
+    }
+
+    #[test]
+    fn inc_beta_closed_forms() {
+        // I_x(1, b) = 1 - (1-x)^b ; I_x(a, 1) = x^a.
+        for &x in &[0.05, 0.3, 0.7, 0.95] {
+            for &s in &[0.5, 2.0, 7.0] {
+                let got = inc_beta(1.0, s, x);
+                let want = 1.0 - (1.0 - x).powf(s);
+                assert!((got - want).abs() < 1e-13, "I_x(1,{s}) at {x}");
+                let got = inc_beta(s, 1.0, x);
+                let want = x.powf(s);
+                assert!((got - want).abs() < 1e-13, "I_x({s},1) at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.2), (10.0, 3.0, 0.8)] {
+            let lhs = inc_beta(a, b, x);
+            let rhs = 1.0 - inc_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-13, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn inc_beta_arcsine_law() {
+        // I_x(0.5, 0.5) = (2/pi) asin(sqrt(x)).
+        for &x in &[0.1f64, 0.25, 0.5, 0.75, 0.9] {
+            let want = 2.0 / std::f64::consts::PI * x.sqrt().asin();
+            let got = inc_beta(0.5, 0.5, x);
+            assert!((got - want).abs() < 1e-13, "x={x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn binomial_tail_identity() {
+        // P(Bin(n,q) >= k) = I_q(k, n-k+1); check against direct summation.
+        let (n, q) = (20u32, 0.3f64);
+        for k in 1..=n {
+            let mut tail = 0.0f64;
+            for j in k..=n {
+                let ln_c = crate::factorial::ln_factorial(n as u64)
+                    - crate::factorial::ln_factorial(j as u64)
+                    - crate::factorial::ln_factorial((n - j) as u64);
+                tail += (ln_c + j as f64 * q.ln() + (n - j) as f64 * (1.0 - q).ln()).exp();
+            }
+            let got = inc_beta(k as f64, (n - k + 1) as f64, q);
+            assert!(
+                (got - tail).abs() < 1e-12,
+                "k={k}: inc_beta={got}, sum={tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for &(a, b) in &[(0.5, 0.5), (1.0, 3.0), (2.0, 2.0), (5.0, 1.5), (20.0, 30.0)] {
+            for i in 1..20 {
+                let p = i as f64 / 20.0;
+                let x = inv_inc_beta(a, b, p);
+                let back = inc_beta(a, b, x);
+                assert!(
+                    (back - p).abs() < 1e-10,
+                    "a={a} b={b} p={p}: x={x}, back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(ln_beta(0.0, 1.0).is_nan());
+        assert!(inc_beta(1.0, 1.0, -0.1).is_nan());
+        assert!(inc_beta(1.0, 1.0, 1.1).is_nan());
+        assert!(inc_beta(-1.0, 1.0, 0.5).is_nan());
+        assert!(inv_inc_beta(1.0, 1.0, -0.1).is_nan());
+        assert_eq!(inv_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inv_inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Factorials: [`factorial`] and [`ln_factorial`].
+//!
+//! The Poisson pmf in the paper's §4.2.3/§4.3.3 sums terms
+//! `e^{−nλ} (nλ)^j / j!` for `j` up to `R`; evaluating them in log space
+//! with a cached `ln j!` table keeps the sums stable for large `R`.
+
+use crate::gamma::ln_gamma;
+
+/// Largest `n` with `n!` representable as a finite `f64`.
+pub const MAX_EXACT_FACTORIAL: u64 = 170;
+
+const TABLE_LEN: usize = 256;
+
+/// Cached `ln n!` for `n < 256`, built on first use.
+fn ln_factorial_table() -> &'static [f64; TABLE_LEN] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (n, slot) in t.iter_mut().enumerate() {
+            if n > 1 {
+                acc += (n as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    })
+}
+
+/// `ln(n!)`, exact-table for `n < 256`, `ln Γ(n+1)` beyond.
+#[inline]
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < TABLE_LEN {
+        ln_factorial_table()[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `n!` as an `f64`; `inf` for `n > 170`.
+#[inline]
+pub fn factorial(n: u64) -> f64 {
+    if n > MAX_EXACT_FACTORIAL {
+        return f64::INFINITY;
+    }
+    let mut acc = 1.0f64;
+    for k in 2..=n {
+        acc *= k as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials_exact() {
+        let want = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &w) in want.iter().enumerate() {
+            assert_eq!(factorial(n as u64), w);
+        }
+    }
+
+    #[test]
+    fn factorial_20_exact() {
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000.0);
+    }
+
+    #[test]
+    fn factorial_overflow() {
+        assert!(factorial(170).is_finite());
+        assert_eq!(factorial(171), f64::INFINITY);
+    }
+
+    #[test]
+    fn ln_factorial_matches_ln_of_factorial() {
+        for n in 0..=30u64 {
+            let want = factorial(n).ln();
+            let got = ln_factorial(n);
+            assert!((got - want).abs() < 1e-11 * want.abs().max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_table_continuity() {
+        // Table values and ln_gamma agree at and beyond the table boundary.
+        for n in [200u64, 255, 256, 300, 1000] {
+            let got = ln_factorial(n);
+            let want = ln_gamma(n as f64 + 1.0);
+            assert!(((got - want) / want).abs() < 1e-13, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_recurrence() {
+        for n in 1..500u64 {
+            let lhs = ln_factorial(n);
+            let rhs = ln_factorial(n - 1) + (n as f64).ln();
+            assert!((lhs - rhs).abs() < 1e-10 * lhs.max(1.0), "n={n}");
+        }
+    }
+}

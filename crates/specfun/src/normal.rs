@@ -1,0 +1,198 @@
+//! Standard Normal helpers: `Φ` ([`norm_cdf`]), `φ` ([`norm_pdf`]),
+//! survival `1-Φ` ([`norm_sf`]) and quantile `Φ⁻¹` ([`norm_quantile`]).
+//!
+//! These are the building blocks of almost every formula in the paper:
+//! the truncated-Normal checkpoint-duration law `N_{[0,∞)}(μ_C, σ_C²)`
+//! appears in every Section-4 expression.
+
+use crate::erf::erfc;
+use crate::{LN_SQRT_2PI, SQRT_2};
+
+/// Standard Normal PDF `φ(x) = exp(-x²/2)/√(2π)`.
+#[inline]
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x - LN_SQRT_2PI).exp()
+}
+
+/// Standard Normal CDF `Φ(x)`.
+///
+/// Implemented as `erfc(-x/√2)/2`, which retains full relative accuracy in
+/// the left tail (`Φ(-38) ≈ 2.9e-316` still carries ~10 correct digits).
+#[inline]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Standard Normal survival function `1 - Φ(x) = Φ(-x)`, accurate in the
+/// right tail.
+#[inline]
+pub fn norm_sf(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+// Acklam's rational approximation for the Normal quantile.
+const A: [f64; 6] = [
+    -3.969_683_028_665_376e1,
+    2.209_460_984_245_205e2,
+    -2.759_285_104_469_687e2,
+    1.383_577_518_672_69e2,
+    -3.066_479_806_614_716e1,
+    2.506_628_277_459_239,
+];
+const B: [f64; 5] = [
+    -5.447_609_879_822_406e1,
+    1.615_858_368_580_409e2,
+    -1.556_989_798_598_866e2,
+    6.680_131_188_771_972e1,
+    -1.328_068_155_288_572e1,
+];
+const C: [f64; 6] = [
+    -7.784_894_002_430_293e-3,
+    -3.223_964_580_411_365e-1,
+    -2.400_758_277_161_838,
+    -2.549_732_539_343_734,
+    4.374_664_141_464_968,
+    2.938_163_982_698_783,
+];
+const D: [f64; 4] = [
+    7.784_695_709_041_462e-3,
+    3.224_671_290_700_398e-1,
+    2.445_134_137_142_996,
+    3.754_408_661_907_416,
+];
+
+const P_LOW: f64 = 0.02425;
+
+#[inline]
+fn acklam(p: f64) -> f64 {
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// Standard Normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's approximation refined by one Halley step against the
+/// high-precision [`norm_cdf`]; relative error is at machine-precision
+/// level across the full open interval. Returns `±inf` at `p ∈ {0, 1}`
+/// and NaN outside `[0, 1]`.
+pub fn norm_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    let mut x = acklam(p);
+    // One Halley refinement: e = Φ(x) - p, u = e/φ(x),
+    // x <- x - u / (1 + x u / 2).
+    let e = if x < 0.0 {
+        norm_cdf(x) - p
+    } else {
+        // Work with the survival function in the right half for accuracy.
+        (1.0 - p) - norm_sf(x)
+    };
+    let u = e / norm_pdf(x);
+    x -= u / (1.0 + 0.5 * x * u);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from mpmath.
+    const CDF_REFS: &[(f64, f64)] = &[
+        (0.0, 0.5),
+        (1.0, 0.8413447460685429),
+        (-1.0, 0.15865525393145705),
+        (2.0, 0.9772498680518208),
+        (-2.0, 0.022750131948179195),
+        (3.0, 0.9986501019683699),
+        (-5.0, 2.8665157187919333e-07),
+        (-10.0, 7.619853024160526e-24),
+        (-30.0, 4.906713927148187e-198),
+    ];
+
+    #[test]
+    fn cdf_matches_reference() {
+        for &(x, want) in CDF_REFS {
+            let got = norm_cdf(x);
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-12, "Phi({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn pdf_matches_reference() {
+        assert!((norm_pdf(0.0) - 0.3989422804014327).abs() < 1e-16);
+        assert!((norm_pdf(1.0) - 0.24197072451914337).abs() < 1e-16);
+        assert!((norm_pdf(-3.0) - 0.0044318484119380075).abs() < 1e-17);
+    }
+
+    #[test]
+    fn sf_is_reflected_cdf() {
+        for &x in &[-8.0, -2.0, -0.5, 0.0, 0.5, 2.0, 8.0] {
+            let rel = ((norm_sf(x) - norm_cdf(-x)) / norm_cdf(-x)).abs();
+            assert!(rel < 1e-14, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let x = norm_quantile(p);
+            assert!(
+                (norm_cdf(x) - p).abs() < 1e-13,
+                "p={p}, x={x}, back={}",
+                norm_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_tails() {
+        for &p in &[1e-300, 1e-100, 1e-30, 1e-10] {
+            let x = norm_quantile(p);
+            let back = norm_cdf(x);
+            let rel = ((back - p) / p).abs();
+            assert!(rel < 1e-9, "p={p}, x={x}, back={back}, rel={rel}");
+            // Symmetry with the upper tail.
+            let xu = norm_quantile(1.0 - p);
+            if p >= 1e-16 {
+                assert!((x + xu).abs() < 1e-8 * x.abs(), "asymmetry at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((norm_quantile(0.5)).abs() < 1e-15);
+        assert!((norm_quantile(0.975) - 1.959963984540054).abs() < 1e-12);
+        assert!((norm_quantile(0.8413447460685429) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edges() {
+        assert_eq!(norm_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(norm_quantile(1.0), f64::INFINITY);
+        assert!(norm_quantile(-0.1).is_nan());
+        assert!(norm_quantile(1.1).is_nan());
+        assert!(norm_quantile(f64::NAN).is_nan());
+    }
+}

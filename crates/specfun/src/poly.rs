@@ -1,0 +1,57 @@
+//! Polynomial evaluation helpers shared by the rational approximations in
+//! this crate.
+
+/// Evaluates a polynomial with coefficients in *ascending* order
+/// (`coeffs[0] + coeffs[1] x + ...`) using Horner's scheme.
+#[inline]
+pub fn horner(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Evaluates a polynomial with coefficients in *descending* order
+/// (`coeffs[0] x^{n-1} + ... + coeffs[n-1]`) using Horner's scheme.
+#[inline]
+pub fn horner_desc(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &c in coeffs {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_naive() {
+        let coeffs = [1.0, -2.0, 3.0, 0.5];
+        let x = 1.7;
+        let naive = 1.0 - 2.0 * x + 3.0 * x * x + 0.5 * x * x * x;
+        assert!((horner(x, &coeffs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horner_desc_matches_naive() {
+        let coeffs = [0.5, 3.0, -2.0, 1.0]; // 0.5x^3 + 3x^2 - 2x + 1
+        let x = -0.9;
+        let naive = 0.5 * x * x * x + 3.0 * x * x - 2.0 * x + 1.0;
+        assert!((horner_desc(x, &coeffs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_polynomial_is_zero() {
+        assert_eq!(horner(2.0, &[]), 0.0);
+        assert_eq!(horner_desc(2.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        assert_eq!(horner(123.0, &[7.5]), 7.5);
+        assert_eq!(horner_desc(123.0, &[7.5]), 7.5);
+    }
+}

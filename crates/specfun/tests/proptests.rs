@@ -1,0 +1,133 @@
+//! Property-based tests for the special-function substrate.
+
+use proptest::prelude::*;
+use resq_specfun::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn erf_in_unit_interval(x in -50.0f64..50.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v), "erf({x}) = {v}");
+    }
+
+    #[test]
+    fn erf_monotone(x in -6.0f64..6.0, dx in 1e-6f64..1.0) {
+        prop_assert!(erf(x + dx) >= erf(x));
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one(x in -25.0f64..25.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn erfc_reflection(x in -20.0f64..20.0) {
+        prop_assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn inv_erf_inverts(y in -0.999999f64..0.999999) {
+        let x = inv_erf(y);
+        prop_assert!((erf(x) - y).abs() < 1e-11, "y={y}, x={x}");
+    }
+
+    #[test]
+    fn norm_cdf_in_unit_interval(x in -100.0f64..100.0) {
+        let p = norm_cdf(x);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn norm_quantile_inverts(p in 1e-12f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let x = norm_quantile(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-11 * p.max(1e-3), "p={p}, x={x}");
+    }
+
+    #[test]
+    fn norm_pdf_positive_and_bounded(x in -60.0f64..60.0) {
+        let d = norm_pdf(x);
+        prop_assert!(d >= 0.0 && d <= 0.39894228040143275);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..150.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0), "x={x}");
+    }
+
+    #[test]
+    fn gamma_duplication(x in 0.05f64..40.0) {
+        // Legendre duplication: Γ(x)Γ(x+1/2) = 2^{1-2x} √π Γ(2x)
+        let lhs = ln_gamma(x) + ln_gamma(x + 0.5);
+        let rhs = (1.0 - 2.0 * x) * std::f64::consts::LN_2
+            + 0.5 * std::f64::consts::PI.ln()
+            + ln_gamma(2.0 * x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "x={x}");
+    }
+
+    #[test]
+    fn gamma_p_bounds_and_complement(a in 0.05f64..200.0, x in 0.0f64..400.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((0.0..=1.0).contains(&p), "P({a},{x}) = {p}");
+        prop_assert!((0.0..=1.0).contains(&q), "Q({a},{x}) = {q}");
+        prop_assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..100.0, x in 0.0f64..200.0, dx in 1e-6f64..5.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-14);
+    }
+
+    #[test]
+    fn inv_gamma_p_round_trip(a in 0.1f64..100.0, p in 1e-6f64..0.999999) {
+        let x = inv_gamma_p(a, p);
+        let back = gamma_p(a, x);
+        prop_assert!((back - p).abs() < 1e-8, "a={a}, p={p}, x={x}, back={back}");
+    }
+
+    #[test]
+    fn lambert_w0_identity(z in -0.3678f64..1e6) {
+        let w = lambert_w0(z);
+        let back = w * w.exp();
+        prop_assert!((back - z).abs() < 1e-10 * z.abs().max(1e-6), "z={z}, w={w}");
+    }
+
+    #[test]
+    fn lambert_wm1_identity(z in -0.3678f64..-1e-9) {
+        let w = lambert_wm1(z);
+        prop_assert!(w <= -1.0);
+        let back = w * w.exp();
+        prop_assert!((back - z).abs() < 1e-10 * z.abs(), "z={z}, w={w}");
+    }
+
+    #[test]
+    fn inc_beta_bounds(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0.0f64..1.0) {
+        let v = inc_beta(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v), "I_{x}({a},{b}) = {v}");
+    }
+
+    #[test]
+    fn inc_beta_symmetry(a in 0.1f64..30.0, b in 0.1f64..30.0, x in 0.001f64..0.999) {
+        let lhs = inc_beta(a, b, x);
+        let rhs = 1.0 - inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-11, "a={a} b={b} x={x}");
+    }
+
+    #[test]
+    fn inv_inc_beta_round_trip(a in 0.2f64..30.0, b in 0.2f64..30.0, p in 1e-4f64..0.9999) {
+        let x = inv_inc_beta(a, b, p);
+        let back = inc_beta(a, b, x);
+        prop_assert!((back - p).abs() < 1e-8, "a={a} b={b} p={p} x={x} back={back}");
+    }
+
+    #[test]
+    fn ln_factorial_monotone(n in 0u64..10_000) {
+        prop_assert!(ln_factorial(n + 1) >= ln_factorial(n));
+    }
+}

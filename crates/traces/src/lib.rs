@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # resq-traces
+//!
+//! Learning the checkpoint-duration law `D_C` from traces of previous
+//! checkpoints — the paper's stated source of the distribution ("the
+//! probability distribution can be learned from traces of previous
+//! checkpoints"). This crate closes the loop from *measured checkpoint
+//! durations* to a *plannable model*:
+//!
+//! * [`record`] — trace record types and JSONL persistence
+//!   ([`record::TraceRecord`], [`record::TraceLog`]).
+//! * [`synth`] — synthetic trace generation with the artifacts real logs
+//!   have (outliers, drift, mixed regimes), used to stress the learning
+//!   pipeline because real production traces are not shipped with the
+//!   paper.
+//! * [`learn`] — the pipeline: fit every candidate family
+//!   (via `resq_dist::fit`), screen with a KS test, truncate to the
+//!   observed (padded) support, and hand back a ready-to-use
+//!   [`resq_core::Preemptible`] model ([`learn::LearnedModel`]).
+//! * [`censored`] — EM fitting that uses *failed* checkpoints as
+//!   right-censored observations (`C > time available`) instead of
+//!   dropping them, removing the downward tail bias of the naive fit.
+//! * [`drift`] — CUSUM and sliding-window-KS detectors that flag when
+//!   the learned `D_C` has gone stale and the plan must be refreshed.
+
+pub mod censored;
+pub mod drift;
+pub mod learn;
+pub mod record;
+pub mod synth;
+
+pub use censored::{fit_from_log, fit_normal_censored, CensoredFit, CensoredFitError};
+pub use drift::{CusumDetector, WindowKsDetector};
+pub use learn::{learn_checkpoint_law, LearnError, LearnedModel};
+pub use record::{TraceLog, TraceRecord};
+pub use synth::{SyntheticTrace, TraceArtifacts};

@@ -1,0 +1,219 @@
+//! Checkpoint trace records and JSONL persistence.
+//!
+//! One [`TraceRecord`] per observed checkpoint: when it started (relative
+//! to the reservation), how long it took, how much data was written, and
+//! whether it completed before the reservation ended. A [`TraceLog`] is
+//! an append-friendly collection with JSONL (one JSON object per line)
+//! round-tripping — the format a batch scheduler epilogue can emit.
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One observed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Reservation identifier (for grouping; not interpreted).
+    pub reservation_id: u64,
+    /// Seconds from reservation start at which the checkpoint began.
+    pub started_at: f64,
+    /// Measured checkpoint duration in seconds.
+    pub duration: f64,
+    /// Bytes written (0 when unknown) — lets users re-normalize durations
+    /// when the application's footprint changes.
+    pub bytes: u64,
+    /// Whether the checkpoint finished before the reservation ended.
+    pub completed: bool,
+}
+
+impl TraceRecord {
+    /// A minimal record carrying only a measured duration.
+    pub fn of_duration(reservation_id: u64, duration: f64) -> Self {
+        Self {
+            reservation_id,
+            started_at: 0.0,
+            duration,
+            bytes: 0,
+            completed: true,
+        }
+    }
+}
+
+/// An append-only log of checkpoint observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a log from raw durations (all marked completed).
+    pub fn from_durations(durations: &[f64]) -> Self {
+        Self {
+            records: durations
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| TraceRecord::of_duration(i as u64, d))
+                .collect(),
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Durations of **completed** checkpoints — the sample from which
+    /// `D_C` is learned. Failed checkpoints are right-censored (we only
+    /// know `C > duration`), so they are excluded from plain fitting.
+    pub fn completed_durations(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.completed && r.duration.is_finite() && r.duration > 0.0)
+            .map(|r| r.duration)
+            .collect()
+    }
+
+    /// Serializes as JSONL into any writer.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for r in &self.records {
+            serde_json::to_writer(&mut w, r)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Parses JSONL from any reader; blank lines are skipped, malformed
+    /// lines are errors.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Self> {
+        let mut log = Self::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            log.push(rec);
+        }
+        Ok(log)
+    }
+
+    /// Saves to a JSONL file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_jsonl(std::io::BufWriter::new(f))
+    }
+
+    /// Loads from a JSONL file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        Self::read_jsonl(std::io::BufReader::new(f))
+    }
+}
+
+impl FromIterator<TraceRecord> for TraceLog {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        Self {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(TraceRecord {
+            reservation_id: 1,
+            started_at: 25.0,
+            duration: 4.8,
+            bytes: 1 << 30,
+            completed: true,
+        });
+        log.push(TraceRecord {
+            reservation_id: 2,
+            started_at: 26.0,
+            duration: 3.0,
+            bytes: 1 << 30,
+            completed: false, // censored
+        });
+        log.push(TraceRecord::of_duration(3, 5.2));
+        log
+    }
+
+    #[test]
+    fn completed_durations_excludes_censored() {
+        let log = sample_log();
+        let d = log.completed_durations();
+        assert_eq!(d, vec![4.8, 5.2]);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = TraceLog::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_rejects_garbage() {
+        let text = "\n{\"reservation_id\":1,\"started_at\":0.0,\"duration\":4.0,\"bytes\":0,\"completed\":true}\n\n";
+        let log = TraceLog::read_jsonl(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(log.len(), 1);
+        let bad = "not json\n";
+        assert!(TraceLog::read_jsonl(std::io::Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("resq-traces-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        let log = sample_log();
+        log.save(&path).unwrap();
+        let back = TraceLog::load(&path).unwrap();
+        assert_eq!(back, log);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_durations_builder() {
+        let log = TraceLog::from_durations(&[1.0, 2.0, 3.0]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.completed_durations(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nonpositive_durations_are_screened() {
+        let log = TraceLog::from_durations(&[1.0, 0.0, -2.0, 3.0]);
+        assert_eq!(log.completed_durations(), vec![1.0, 3.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for trace persistence and learning.
+
+use proptest::prelude::*;
+use resq_traces::{learn_checkpoint_law, SyntheticTrace, TraceLog, TraceRecord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jsonl_round_trip_arbitrary_records(
+        recs in prop::collection::vec(
+            (0u64..1000, 0.0f64..100.0, 0.01f64..50.0, 0u64..1u64<<40, any::<bool>()),
+            0..50,
+        )
+    ) {
+        let log: TraceLog = recs
+            .iter()
+            .map(|&(id, start, dur, bytes, done)| TraceRecord {
+                reservation_id: id,
+                started_at: start,
+                duration: dur,
+                bytes,
+                completed: done,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let back = TraceLog::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn completed_durations_filter_properties(
+        durs in prop::collection::vec(-5.0f64..50.0, 1..100),
+    ) {
+        let log = TraceLog::from_durations(&durs);
+        let kept = log.completed_durations();
+        prop_assert!(kept.iter().all(|&d| d > 0.0));
+        prop_assert_eq!(kept.len(), durs.iter().filter(|&&d| d > 0.0).count());
+    }
+
+    #[test]
+    fn learning_recovers_mean_within_tolerance(
+        mu in 3.0f64..10.0,
+        cv in 0.05f64..0.25,
+        seed in 0u64..50,
+    ) {
+        let sigma = cv * mu;
+        let base = resq_dist::Truncated::above(
+            resq_dist::Normal::new(mu, sigma).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        let log = SyntheticTrace::clean(base).generate(3000, seed);
+        let learned = learn_checkpoint_law(
+            &log.completed_durations(),
+            resq_traces::learn::LearnConfig::default(),
+        );
+        // Clean unimodal data must always produce a model...
+        let learned = learned.expect("clean trace should fit");
+        // ...whose mean tracks the truth.
+        prop_assert!(
+            (learned.mean() - mu).abs() < 0.1 * mu,
+            "learned mean {} vs truth {mu}",
+            learned.mean()
+        );
+        // And the support brackets the observations.
+        let durs = log.completed_durations();
+        let (lo, hi) = learned.support;
+        let dmin = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = durs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= dmin && hi >= dmax);
+    }
+
+    #[test]
+    fn learned_plan_is_feasible(
+        mu in 3.0f64..8.0,
+        seed in 0u64..50,
+    ) {
+        let base = resq_dist::Truncated::above(
+            resq_dist::Normal::new(mu, 0.1 * mu).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        let log = SyntheticTrace::clean(base).generate(1000, seed);
+        let learned = learn_checkpoint_law(
+            &log.completed_durations(),
+            resq_traces::learn::LearnConfig::default(),
+        )
+        .expect("fit");
+        let r = 6.0 * mu;
+        let (opt, pess) = learned.plan(r).expect("plan");
+        prop_assert!(opt.lead_time > 0.0 && opt.lead_time <= r);
+        prop_assert!(opt.expected_work >= pess.expected_work - 1e-9);
+        prop_assert!(opt.expected_work <= r);
+    }
+}

@@ -1,0 +1,73 @@
+//! Fail-stop errors *inside* the reservation — the paper's future-work
+//! scenario, simulated.
+//!
+//! The paper assumes a failure-free platform: the only "catastrophe" is
+//! the known end of the reservation. Here we inject Poisson fail-stop
+//! errors (the classic HPC model) and watch the single-end-checkpoint
+//! §4.3 strategy degrade as the MTBF approaches the reservation length,
+//! while Young/Daly-style periodic checkpointing holds up.
+//!
+//! Run with: `cargo run --release --example failure_aware`
+
+use resq::core::policy::ThresholdWorkflowPolicy;
+use resq::dist::{Constant, Normal, Truncated};
+use resq::sim::{
+    run_trials, young_daly_period, FailureWorkflowSim, MonteCarloConfig, PeriodicCheckpointPolicy,
+};
+use resq::DynamicStrategy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = 29.0;
+    let task = Truncated::above(Normal::new(3.0, 0.5)?, 0.0)?;
+    let ckpt = Truncated::above(Normal::new(5.0, 0.4)?, 0.0)?;
+    let w_int = DynamicStrategy::new(task.clone(), ckpt.clone(), r)?
+        .threshold()
+        .expect("feasible");
+
+    println!("R = {r} s, task ~ N[0,inf)(3, 0.5^2), checkpoint ~ N[0,inf)(5, 0.4^2)");
+    println!("end-of-reservation policy: threshold W_int = {w_int:.2}");
+    println!();
+    println!(
+        "  {:>9} {:>9} | {:>12} {:>12} {:>9} | {:>12}",
+        "MTBF (s)", "lam_f", "single-ckpt", "Young/Daly", "period", "failures"
+    );
+
+    let cfg = MonteCarloConfig {
+        trials: 100_000,
+        seed: 17,
+        threads: 0,
+    };
+    for mtbf in [f64::INFINITY, 300.0, 100.0, 50.0, 25.0, 12.0] {
+        let rate = if mtbf.is_finite() { 1.0 / mtbf } else { 0.0 };
+        let sim = FailureWorkflowSim {
+            reservation: r,
+            task: task.clone(),
+            ckpt: ckpt.clone(),
+            recovery: Constant::new(1.0)?,
+            failure_rate: rate,
+        };
+        let single = ThresholdWorkflowPolicy { threshold: w_int };
+        let s_single = run_trials(cfg, |_, rng| sim.run_once(&single, rng).work_saved);
+        let (period, s_periodic, fail_mean) = if rate > 0.0 {
+            let period = young_daly_period(5.0, rate).min(w_int);
+            let periodic = PeriodicCheckpointPolicy { period };
+            let s = run_trials(cfg, |_, rng| sim.run_once(&periodic, rng).work_saved);
+            let f = run_trials(cfg, |_, rng| sim.run_once(&periodic, rng).failures as f64);
+            (period, s.mean, f.mean)
+        } else {
+            (f64::NAN, f64::NAN, 0.0)
+        };
+        println!(
+            "  {:>9.0} {:>9.4} | {:>12.3} {:>12.3} {:>9.2} | {:>12.3}",
+            mtbf, rate, s_single.mean, s_periodic, period, fail_mean
+        );
+    }
+
+    println!();
+    println!("Reading the table: with MTBF >> R the paper's failure-free analysis is");
+    println!("accurate and a single end-of-reservation checkpoint is optimal. As MTBF");
+    println!("approaches R, losing the whole reservation to one failure becomes likely");
+    println!("and periodic (Young/Daly) checkpoints inside the reservation win — the");
+    println!("regime the paper delimits away and flags as future work.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Learning `D_C` from checkpoint traces — the paper's "the probability
+//! distribution can be learned from traces of previous checkpoints".
+//!
+//! We synthesize a checkpoint log (LogNormal base with 2% I/O-contention
+//! outliers), learn a model from it at several trace lengths, and measure
+//! the *planning regret*: how much expected work the plan from the
+//! learned model loses compared to planning with the true law.
+//!
+//! The learner is the flexible pipeline: parametric families first, with
+//! a Gaussian-mixture fallback once the trace is long enough for the KS
+//! screen to resolve the outlier mode (watch the `k` column exceed 1 at
+//! large `n`).
+//!
+//! Run with: `cargo run --release --example trace_learning`
+
+use resq::dist::{Continuous, LogNormal};
+use resq::traces::learn::{learn_checkpoint_law_flexible, LearnConfig};
+use resq::traces::{SyntheticTrace, TraceArtifacts};
+use resq::Preemptible;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reservation = 60.0;
+    // Ground truth: checkpoint ~ LogNormal(mean 8 s, sd 2 s), with 2%
+    // outliers stretched 2.5x by I/O contention.
+    let truth = LogNormal::from_mean_sd(8.0, 2.0)?;
+    let generator = SyntheticTrace {
+        base: truth,
+        artifacts: TraceArtifacts {
+            outlier_probability: 0.02,
+            outlier_factor: 2.5,
+            drift_per_obs: 0.0,
+        },
+    };
+
+    // Reference plan: the true law truncated to its central 99.9% range.
+    let (t_lo, t_hi) = (truth.quantile(0.0005), truth.quantile(0.9995));
+    let true_law = resq::dist::Truncated::new(truth, t_lo, t_hi)?;
+    let true_model = Preemptible::new(true_law, reservation)?;
+    let true_plan = true_model.optimize();
+    println!("Ground truth: C ~ LogNormal(mean 8, sd 2) + 2% outliers; R = {reservation} s");
+    println!(
+        "  oracle-model plan: lead {:.2} s, E[saved] = {:.3} s\n",
+        true_plan.lead_time, true_plan.expected_work
+    );
+
+    println!(
+        "  {:>7} {:>2} {:>8} {:>10} {:>12} {:>10}",
+        "trace n", "k", "KS D", "lead (s)", "E[saved] (s)", "regret"
+    );
+    for &n in &[50usize, 200, 1000, 5000, 20000, 50000] {
+        let log = generator.generate(n, 1000 + n as u64);
+        let durations = log.completed_durations();
+        let learned = match learn_checkpoint_law_flexible(
+            &durations,
+            LearnConfig::default(),
+            3,
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("  {n:>7} -> learning failed: {e}");
+                continue;
+            }
+        };
+        let (plan, _) = learned.plan(reservation)?;
+        // Regret measured under the TRUE model: how much expected work we
+        // lose by executing the learned plan in the real world.
+        let achieved = true_model.expected_work(
+            plan.lead_time
+                .clamp(true_model.checkpoint_bounds().0, reservation),
+        );
+        let regret = (true_plan.expected_work - achieved).max(0.0);
+        println!(
+            "  {n:>7} {:>2} {:>8.4} {:>10.2} {:>12.3} {:>9.2}%",
+            learned.components,
+            learned.ks_statistic,
+            plan.lead_time,
+            plan.expected_work,
+            100.0 * regret / true_plan.expected_work
+        );
+    }
+
+    println!("\nEven short traces land within a few percent of the optimal plan: E[W(X)]");
+    println!("is flat near its maximum, so planning forgives modest model error. Once the");
+    println!("trace is long enough for the KS screen to resolve the contamination, the");
+    println!("learner switches to a Gaussian mixture (k > 1) and keeps the regret low.");
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Cross-crate property tests: invariants of the paper's objects that
+//! must hold for *any* valid parameters, not just the figures'.
+
+use proptest::prelude::*;
+use resq::dist::{Gamma, Normal, Truncated, Uniform};
+use resq::sim::{PreemptibleSim, WorkflowSim};
+use resq::{DynamicStrategy, FixedLeadPolicy, Preemptible, StaticStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// E[W] is 0 at X=a, 0 at X=R, non-negative in between, and the
+    /// optimum dominates the pessimistic plan.
+    #[test]
+    fn preemptible_objective_invariants(
+        a in 0.2f64..3.0,
+        width in 0.5f64..6.0,
+        slack in 0.5f64..10.0,
+    ) {
+        let b = a + width;
+        let r = b + slack;
+        let m = Preemptible::new(Uniform::new(a, b).unwrap(), r).unwrap();
+        prop_assert!(m.expected_work(a).abs() < 1e-10);
+        prop_assert!(m.expected_work(r).abs() < 1e-10);
+        let opt = m.optimize();
+        let pess = m.pessimistic();
+        prop_assert!(opt.expected_work >= pess.expected_work - 1e-9);
+        prop_assert!(opt.expected_work <= m.oracle_expected_work() + 1e-9);
+        prop_assert!(opt.lead_time >= a - 1e-12 && opt.lead_time <= b + 1e-12);
+        for i in 0..=20 {
+            let x = a + (r - a) * i as f64 / 20.0;
+            let w = m.expected_work(x);
+            prop_assert!(w >= -1e-12, "E[W({x})] = {w} < 0");
+            prop_assert!(w <= opt.expected_work + 1e-9, "E[W({x})] beats optimum");
+        }
+    }
+
+    /// Closed-form uniform optimum equals the generic optimizer.
+    #[test]
+    fn uniform_closed_form_matches_optimizer(
+        a in 0.2f64..3.0,
+        width in 0.5f64..6.0,
+        slack in 0.5f64..10.0,
+    ) {
+        let b = a + width;
+        let r = b + slack;
+        let closed = resq::core::preemptible::closed_form::uniform_x_opt(a, b, r).unwrap();
+        let m = Preemptible::new(Uniform::new(a, b).unwrap(), r).unwrap();
+        prop_assert!((closed - m.optimize().lead_time).abs() < 1e-5);
+    }
+
+    /// Simulated preemptible outcomes obey conservation laws for any
+    /// parameters and lead time.
+    #[test]
+    fn preemptible_simulation_conservation(
+        a in 0.2f64..3.0,
+        width in 0.5f64..5.0,
+        slack in 0.5f64..8.0,
+        lead_frac in 0.0f64..1.2,
+        seed in 0u64..500,
+    ) {
+        let b = a + width;
+        let r = b + slack;
+        let ckpt = Uniform::new(a, b).unwrap();
+        let sim = PreemptibleSim { reservation: r, ckpt };
+        let lead = lead_frac * r;
+        let policy = FixedLeadPolicy::new("prop", lead);
+        let mut rng = resq::dist::Xoshiro256pp::new(seed);
+        for _ in 0..16 {
+            let out = sim.run_once(&policy, &mut rng);
+            prop_assert!(out.work_saved >= 0.0);
+            prop_assert!(out.work_saved <= r);
+            prop_assert!(out.time_used <= r + 1e-9);
+            prop_assert!(out.checkpoint_duration >= a && out.checkpoint_duration <= b);
+            if out.checkpoint_succeeded {
+                prop_assert!(out.checkpoint_duration <= out.lead_time + 1e-12);
+            } else {
+                prop_assert!(out.work_saved == 0.0);
+            }
+        }
+    }
+
+    /// Static strategy: E(n) ≥ 0 everywhere and the reported optimum
+    /// dominates a scan.
+    #[test]
+    fn static_strategy_optimum_dominates(
+        mu in 1.0f64..4.0,
+        sigma_frac in 0.05f64..0.3,
+        mu_c in 1.0f64..6.0,
+        r_mult in 4.0f64..7.0,
+    ) {
+        let sigma = sigma_frac * mu;
+        let r = r_mult * mu + mu_c;
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.1 * mu_c).unwrap(), 0.0).unwrap();
+        let s = StaticStrategy::new(Normal::new(mu, sigma).unwrap(), ckpt, r).unwrap();
+        let plan = s.optimize();
+        prop_assert!(plan.expected_work >= 0.0);
+        for n in 1..=(2.0 * r / mu) as u64 {
+            let e = s.expected_work(n);
+            prop_assert!(e >= -1e-9, "E({n}) = {e} < 0");
+            prop_assert!(e <= plan.expected_work + 1e-6, "E({n}) = {e} beats plan");
+        }
+        // Saved work cannot exceed the room left by the cheapest possible
+        // checkpoint.
+        prop_assert!(plan.expected_work <= r);
+    }
+
+    /// Dynamic strategy: the threshold, when it exists, separates the
+    /// decisions, and E[W_{+1}](w) ≥ 0, E[W_C](w) ∈ [0, w].
+    #[test]
+    fn dynamic_strategy_invariants(
+        shape in 0.5f64..3.0,
+        scale in 0.2f64..1.0,
+        mu_c in 0.5f64..4.0,
+        r in 8.0f64..30.0,
+    ) {
+        let task = Gamma::new(shape, scale).unwrap();
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.15 * mu_c).unwrap(), 0.0).unwrap();
+        let d = DynamicStrategy::new(task, ckpt, r).unwrap();
+        for i in 0..=20 {
+            let w = r * i as f64 / 20.0;
+            let now = d.expect_checkpoint_now(w);
+            let plus = d.expect_one_more(w);
+            prop_assert!(now >= 0.0 && now <= w + 1e-9, "E[W_C]({w}) = {now}");
+            prop_assert!(plus >= 0.0 && plus <= r + 1e-9, "E[W_+1]({w}) = {plus}");
+        }
+        if let Some(w_int) = d.threshold() {
+            if w_int > 0.5 && w_int < r - 0.5 {
+                prop_assert!(!d.should_checkpoint((w_int - 0.3).max(0.0)));
+                prop_assert!(d.should_checkpoint(w_int + 0.3));
+            }
+        }
+    }
+
+    /// Workflow simulation conservation laws for arbitrary thresholds.
+    #[test]
+    fn workflow_simulation_conservation(
+        threshold_frac in 0.1f64..1.1,
+        seed in 0u64..300,
+    ) {
+        let r = 29.0;
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let sim = WorkflowSim { reservation: r, task, ckpt };
+        let policy = resq::core::policy::ThresholdWorkflowPolicy {
+            threshold: threshold_frac * r,
+        };
+        let mut rng = resq::dist::Xoshiro256pp::new(seed);
+        for _ in 0..8 {
+            let out = sim.run_once(&policy, &mut rng);
+            prop_assert!(out.work_saved >= 0.0);
+            prop_assert!(out.work_saved <= out.work_at_checkpoint + 1e-12);
+            prop_assert!(out.work_at_checkpoint <= r + 1e-9);
+            prop_assert!(out.time_used <= r + 1e-9);
+            if out.checkpoint_succeeded {
+                prop_assert!(out.checkpoint_attempted);
+                prop_assert!(
+                    out.work_at_checkpoint + out.checkpoint_duration <= r + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Integration tests pinning every numeric anchor of the paper's ten
+//! figures, exercised through the public `resq` facade.
+//!
+//! These are the reproduction's ground truth: if any of them fails, the
+//! library no longer reproduces the paper.
+
+use resq::core::preemptible::closed_form;
+use resq::dist::{Exponential, Gamma, LogNormal, Normal, Poisson, Truncated, Uniform};
+use resq::{DynamicStrategy, Preemptible, StaticStrategy};
+
+/// The paper's §4 checkpoint law `N_{[0,∞)}(μ_C, σ_C²)`.
+fn ckpt(mu_c: f64, sigma_c: f64) -> Truncated<Normal> {
+    Truncated::above(Normal::new(mu_c, sigma_c).unwrap(), 0.0).unwrap()
+}
+
+// ---------------------------------------------------------------- Fig 1
+
+#[test]
+fn figure_1a_uniform_interior() {
+    // a=1, b=7.5, R=10: X_opt = 5.5, E[W] ≈ 3.1; pessimistic 2.5 = 80%.
+    let m = Preemptible::new(Uniform::new(1.0, 7.5).unwrap(), 10.0).unwrap();
+    let plan = m.optimize();
+    assert!((plan.lead_time - 5.5).abs() < 1e-6);
+    assert!((plan.expected_work - 3.1).abs() < 0.05);
+    assert!((m.pessimistic().expected_work - 2.5).abs() < 1e-12);
+    assert!((m.pessimistic_efficiency() - 0.80).abs() < 0.01);
+    // Closed form agrees.
+    assert_eq!(closed_form::uniform_x_opt(1.0, 7.5, 10.0).unwrap(), 5.5);
+}
+
+#[test]
+fn figure_1b_uniform_saturated() {
+    // a=1, b=5, R=10: X_opt = b = 5.
+    let m = Preemptible::new(Uniform::new(1.0, 5.0).unwrap(), 10.0).unwrap();
+    assert!((m.optimize().lead_time - 5.0).abs() < 1e-6);
+    assert_eq!(closed_form::uniform_x_opt(1.0, 5.0, 10.0).unwrap(), 5.0);
+}
+
+// ---------------------------------------------------------------- Fig 2
+
+#[test]
+fn figure_2a_exponential_interior() {
+    // λ=1/2, a=1, b=5, R=10: paper reads X_opt ≈ 3.9 off the plot; the
+    // exact Lambert-W formula gives 3.82.
+    let x = closed_form::exponential_x_opt(0.5, 1.0, 5.0, 10.0).unwrap();
+    assert!((x - 3.9).abs() < 0.15, "X_opt = {x}");
+    let c = Truncated::new(Exponential::new(0.5).unwrap(), 1.0, 5.0).unwrap();
+    let m = Preemptible::new(c, 10.0).unwrap();
+    assert!((m.optimize().lead_time - x).abs() < 1e-5);
+}
+
+#[test]
+fn figure_2b_exponential_saturated() {
+    // λ=1/2, a=1, b=3, R=10: X_opt = b = 3.
+    let x = closed_form::exponential_x_opt(0.5, 1.0, 3.0, 10.0).unwrap();
+    assert_eq!(x, 3.0);
+    let c = Truncated::new(Exponential::new(0.5).unwrap(), 1.0, 3.0).unwrap();
+    let m = Preemptible::new(c, 10.0).unwrap();
+    assert!((m.optimize().lead_time - 3.0).abs() < 1e-6);
+}
+
+// ---------------------------------------------------------------- Fig 3
+
+#[test]
+fn figure_3a_normal_interior() {
+    // N(3.5, 1) on [1, 7.5], R = 10: interior optimum.
+    let x = closed_form::normal_x_opt(3.5, 1.0, 1.0, 7.5, 10.0).unwrap();
+    assert!(x > 1.0 && x < 7.5, "X_opt = {x}");
+    let c = Truncated::new(Normal::new(3.5, 1.0).unwrap(), 1.0, 7.5).unwrap();
+    let m = Preemptible::new(c, 10.0).unwrap();
+    let plan = m.optimize();
+    assert!((plan.lead_time - x).abs() < 1e-5);
+    // Interior optimum strictly beats the pessimistic plan here.
+    assert!(plan.expected_work > m.pessimistic().expected_work + 0.1);
+}
+
+#[test]
+fn figure_3b_normal_saturated() {
+    // N(3.5, 1) on [1, 4.7], R = 10: X_opt = b.
+    let x = closed_form::normal_x_opt(3.5, 1.0, 1.0, 4.7, 10.0).unwrap();
+    assert_eq!(x, 4.7);
+    let c = Truncated::new(Normal::new(3.5, 1.0).unwrap(), 1.0, 4.7).unwrap();
+    let m = Preemptible::new(c, 10.0).unwrap();
+    assert!((m.optimize().lead_time - 4.7).abs() < 1e-4);
+}
+
+// ---------------------------------------------------------------- Fig 4
+
+#[test]
+fn figure_4_lognormal_both_regimes() {
+    // Fig 4 uses LogNormal(μ, σ) with μ* ∈ [a, b]; caption 4(b): a=1,
+    // b=4.7, R=10, μ=3.5, σ=1 — wait, those are the *law* parameters μ,σ
+    // of Fig 3; Fig 4's visible caption gives a=1, b=4.7, R=10, μ=3.5(?),
+    // σ=1 for the saturated case. We pin the structural claim: both an
+    // interior regime and a saturated regime exist for truncated
+    // LogNormal laws, and the closed-form finder matches the generic
+    // optimizer in both.
+    // Interior: wide b.
+    let x_int = closed_form::lognormal_x_opt(1.0, 0.35, 1.0, 9.0, 10.0).unwrap();
+    assert!(x_int > 1.0 && x_int < 9.0);
+    let c = Truncated::new(LogNormal::new(1.0, 0.35).unwrap(), 1.0, 9.0).unwrap();
+    let m = Preemptible::new(c, 10.0).unwrap();
+    assert!((m.optimize().lead_time - x_int).abs() < 1e-5);
+    // Saturated: tight b.
+    let x_sat = closed_form::lognormal_x_opt(1.0, 0.35, 1.0, 3.0, 10.0).unwrap();
+    assert_eq!(x_sat, 3.0);
+}
+
+// ---------------------------------------------------------------- Fig 5
+
+#[test]
+fn figure_5_static_normal() {
+    // μ=3, σ=0.5, μC=5, σC=0.4, R=30: y_opt ≈ 7.4, f(7) ≈ 20.9,
+    // f(8) ≈ 17.6, n_opt = 7.
+    let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt(5.0, 0.4), 30.0).unwrap();
+    let plan = s.optimize();
+    assert!((plan.y_opt - 7.4).abs() < 0.15, "y_opt = {}", plan.y_opt);
+    assert_eq!(plan.n_opt, 7);
+    assert!((s.expected_work(7) - 20.9).abs() < 0.15);
+    assert!((s.expected_work(8) - 17.6).abs() < 0.15);
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+#[test]
+fn figure_6_static_gamma() {
+    // k=1, θ=0.5, μC=2, σC=0.4, R=10: y_opt ≈ 11.8, g(11) ≈ 4.77,
+    // g(12) ≈ 4.82, n_opt = 12.
+    let s = StaticStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
+    let plan = s.optimize();
+    assert!((plan.y_opt - 11.8).abs() < 0.3, "y_opt = {}", plan.y_opt);
+    assert_eq!(plan.n_opt, 12);
+    assert!((s.expected_work(11) - 4.77).abs() < 0.05);
+    assert!((s.expected_work(12) - 4.82).abs() < 0.05);
+}
+
+// ---------------------------------------------------------------- Fig 7
+
+#[test]
+fn figure_7_static_poisson() {
+    // λ=3, μC=5, σC=0.4, R=29: y_opt ≈ 5.98, h(5) ≈ 14.6, h(6) ≈ 15.8,
+    // n_opt = 6.
+    let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
+    let plan = s.optimize();
+    assert!((plan.y_opt - 5.98).abs() < 0.15, "y_opt = {}", plan.y_opt);
+    assert_eq!(plan.n_opt, 6);
+    assert!((s.expected_work(5) - 14.6).abs() < 0.15);
+    assert!((s.expected_work(6) - 15.8).abs() < 0.15);
+}
+
+// ---------------------------------------------------------------- Fig 8
+
+#[test]
+fn figure_8_dynamic_truncated_normal() {
+    // μ=3, σ=0.5, μC=5, σC=0.4, R=29: W_int ≈ 20.3.
+    let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+    let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), 29.0).unwrap();
+    let w = d.threshold().unwrap();
+    assert!((w - 20.3).abs() < 0.3, "W_int = {w}");
+}
+
+// ---------------------------------------------------------------- Fig 9
+
+#[test]
+fn figure_9_dynamic_gamma() {
+    // k=1, θ=0.5, μC=2, σC=0.4, R=10: W_int ≈ 6.4.
+    let d = DynamicStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
+    let w = d.threshold().unwrap();
+    assert!((w - 6.4).abs() < 0.2, "W_int = {w}");
+}
+
+// --------------------------------------------------------------- Fig 10
+
+#[test]
+fn figure_10_dynamic_poisson() {
+    // λ=3, μC=5, σC=0.4, R=29: W_int ≈ 18.9.
+    let d = DynamicStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
+    let w = d.threshold().unwrap();
+    assert!((w - 18.9).abs() < 0.4, "W_int = {w}");
+}
+
+// ------------------------------------------------- cross-figure claims
+
+#[test]
+fn take_away_pessimistic_is_not_always_good() {
+    // The recurring take-away of §3: X = b is optimal in the (b) panels
+    // and strictly suboptimal in the (a) panels.
+    let interior = Preemptible::new(Uniform::new(1.0, 7.5).unwrap(), 10.0).unwrap();
+    assert!(interior.pessimistic_efficiency() < 0.85);
+    let saturated = Preemptible::new(Uniform::new(1.0, 5.0).unwrap(), 10.0).unwrap();
+    assert!((saturated.pessimistic_efficiency() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn boundary_values_of_expected_work() {
+    // E[W(a)] = 0 and E[W(R)] = 0, as the paper notes below Fig 1.
+    let m = Preemptible::new(Uniform::new(1.0, 7.5).unwrap(), 10.0).unwrap();
+    assert!(m.expected_work(1.0).abs() < 1e-12);
+    assert!(m.expected_work(10.0).abs() < 1e-12);
+    // Linear decrease from b to R: E[W(X)] = R − X there.
+    for &x in &[7.6, 8.0, 9.0, 9.9] {
+        assert!((m.expected_work(x) - (10.0 - x)).abs() < 1e-12);
+    }
+}
