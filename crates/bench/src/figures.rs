@@ -170,7 +170,7 @@ pub fn fig03() -> FigureResult {
 /// Figure 4: truncated LogNormal checkpoint law; (b) caption gives
 /// `a=1, b=4.7, R=10, μ=3.5, σ=1` — parameters chosen so `μ* ∈ [a, b]`
 /// fails for μ=3.5 in log space (μ* = e^4 ≈ 55), so as in the text we
-/// interpret μ,σ as the law parameters with μ*∈[a,b] enforced via
+/// interpret μ,σ as the law parameters with μ*∈\[a,b\] enforced via
 /// `LogNormal::from_mean_sd`-style values; we regenerate both regimes.
 pub fn fig04() -> FigureResult {
     let dir = results_dir();

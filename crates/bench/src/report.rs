@@ -85,7 +85,9 @@ fn workspace_root() -> PathBuf {
     p.ancestors().nth(2).unwrap_or(p).to_path_buf()
 }
 
-/// Writes a CSV file with a header row.
+/// Writes a CSV file with a header row, plus a provenance manifest
+/// sidecar (`fig5.csv` → `fig5.manifest.json`) recording which tool
+/// produced the artifact, its shape, and the git revision.
 pub fn write_csv(
     path: &Path,
     header: &[&str],
@@ -93,10 +95,25 @@ pub fn write_csv(
 ) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{}", header.join(","))?;
+    let mut n_rows: u64 = 0;
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v:.10}")).collect();
         writeln!(f, "{}", line.join(","))?;
+        n_rows += 1;
     }
+    f.flush()?;
+    let tool = std::env::args()
+        .next()
+        .and_then(|argv0| {
+            Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".into());
+    resq_obs::RunManifest::new(format!("bench/{tool}"))
+        .config("columns", header.join(","))
+        .config("rows", n_rows)
+        .write_for(path)?;
     Ok(())
 }
 
@@ -142,6 +159,18 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("x,y\n"));
         assert_eq!(text.lines().count(), 3);
+
+        let sidecar = dir.join("t.manifest.json");
+        let manifest = std::fs::read_to_string(&sidecar).unwrap();
+        let parsed = resq_obs::json::parse(&manifest).unwrap();
+        assert!(parsed
+            .get("tool")
+            .and_then(|t| t.as_str().map(|s| s.starts_with("bench/")))
+            .unwrap_or(false));
+        let config = parsed.get("config").unwrap();
+        assert_eq!(config.get("rows").and_then(|r| r.as_str()), Some("2"));
+
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
     }
 }

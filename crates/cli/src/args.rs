@@ -24,9 +24,13 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
+    /// Boolean flags (present/absent, no value token): the observability
+    /// switches shared by every subcommand.
+    pub const BOOL_FLAGS: &'static [&'static str] = &["metrics", "progress"];
+
     /// Parses `tokens` (without the program name): one optional
     /// subcommand followed by `--key value` pairs (`--key=value` also
-    /// accepted).
+    /// accepted). Flags listed in [`Args::BOOL_FLAGS`] take no value.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = tokens.into_iter().peekable();
@@ -41,6 +45,8 @@ impl Args {
             };
             if let Some((k, v)) = key.split_once('=') {
                 out.flags.insert(k.to_string(), v.to_string());
+            } else if Self::BOOL_FLAGS.contains(&key) {
+                out.flags.insert(key.to_string(), String::new());
             } else {
                 let v = it
                     .next()
@@ -87,6 +93,11 @@ impl Args {
                 .parse::<u64>()
                 .map_err(|_| ArgError(format!("flag `--{key}` expects an integer, got `{raw}`"))),
         }
+    }
+
+    /// True when a boolean flag (see [`Args::BOOL_FLAGS`]) was given.
+    pub fn bool_flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// All flag keys, for unknown-flag diagnostics.
@@ -142,5 +153,18 @@ mod tests {
     fn no_subcommand() {
         let a = parse(&["--x", "1"]).unwrap();
         assert!(a.command.is_none());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(&["simulate", "--metrics", "--trials", "100", "--progress"]).unwrap();
+        assert!(a.bool_flag("metrics"));
+        assert!(a.bool_flag("progress"));
+        assert!(!a.bool_flag("log-json"));
+        assert_eq!(a.u64_or("trials", 0).unwrap(), 100);
+        // A boolean flag does not swallow the next token.
+        let b = parse(&["simulate", "--metrics", "--seed", "7"]).unwrap();
+        assert!(b.bool_flag("metrics"));
+        assert_eq!(b.u64_or("seed", 0).unwrap(), 7);
     }
 }

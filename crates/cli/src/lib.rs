@@ -1,8 +1,51 @@
 #![warn(missing_docs)]
 
-//! Library surface of the `resq` CLI (argument parsing and law-spec
-//! parsing), exposed so the binary's building blocks are unit-testable
-//! and reusable.
+//! Library surface of the `resq` CLI (argument parsing, law-spec
+//! parsing and the usage text), exposed so the binary's building blocks
+//! are unit-testable and reusable — and so the docs-sync test can check
+//! README examples against the real flag set.
 
 pub mod args;
 pub mod spec;
+
+/// The `resq` usage text — the single source of truth for subcommands
+/// and flags. `tests/docs_sync.rs` checks every `resq` invocation in the
+/// README and operations guide against this string.
+pub const USAGE: &str = "\
+resq — when to checkpoint at the end of a fixed-length reservation?
+
+USAGE:
+  resq <command> [--flag value]...
+
+COMMANDS:
+  plan-preemptible  optimal lead time for a preemptible application (paper §3)
+      --ckpt <law>            checkpoint-duration law (bounded support)
+      --reservation <R>
+      [--min-success <p>]     SLO floor on the checkpoint success probability
+  plan-static       checkpoint after n_opt tasks, decided up front (paper §4.2)
+      --task <law>            task-duration law (normal/gamma/poisson or any
+                              non-negative continuous law, via convolution)
+      --ckpt <law>            checkpoint law with support in [0, inf)
+      --reservation <R>
+  plan-dynamic      work threshold W_int for the online rule (paper §4.3)
+      --task <law>  --ckpt <law>  --reservation <R>
+  simulate          Monte-Carlo a threshold policy in the workflow scenario
+      --task <law>  --ckpt <law>  --reservation <R>  --threshold <W>
+      [--trials <n>=100000] [--seed <s>=42] [--threads <t>=auto]
+      [--sample-every <k>=10000]   trial-sample row every k-th trial index
+  learn             learn the checkpoint law from a JSONL trace (paper: \"learned
+                    from traces of previous checkpoints\") and plan
+      --trace <file.jsonl>  --reservation <R>
+
+OBSERVABILITY (every command):
+  --log-json <path>   write structured JSONL run events to <path> and a
+                      provenance manifest sidecar next to it
+  --metrics           print global metric counters to stderr after the run
+  --progress          print live progress to stderr (simulate only)
+
+LAW SYNTAX:
+  uniform:a,b | exponential:lambda | normal:mu,sigma | lognormal:mu,sigma |
+  gamma:k,theta | poisson:lambda
+  Optional truncation suffix @lo,hi (empty side = infinite), e.g.
+  normal:5,0.4@0,   exponential:0.5@1,5
+";

@@ -5,47 +5,23 @@
 //! resq plan-static      --task normal:3,0.5 --ckpt normal:5,0.4@0, --reservation 30
 //! resq plan-dynamic     --task normal:3,0.5@0, --ckpt normal:5,0.4@0, --reservation 29
 //! resq simulate         --task normal:3,0.5@0, --ckpt normal:5,0.4@0, --reservation 29 \
-//!                       --threshold 20.3 --trials 100000 [--seed 1]
+//!                       --threshold 20.3 --trials 100000 [--seed 1] [--log-json run.jsonl]
 //! resq learn            --trace ckpts.jsonl --reservation 30
 //! ```
+//!
+//! See `resq_cli::USAGE` for the full flag reference, including the
+//! observability flags (`--log-json`, `--metrics`, `--progress`)
+//! documented in `docs/OBSERVABILITY.md`.
 
-use resq::dist::Distribution;
-use resq::sim::{run_trials, MonteCarloConfig, WorkflowSim};
+use resq::dist::{Distribution, Xoshiro256pp};
+use resq::obs::{event_type, Event, JsonlSink, NullSink, RunManifest, RunSink};
+use resq::sim::{run_trials, run_trials_observed, MonteCarloConfig, WorkflowSim};
 use resq::{ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
 use resq_cli::args::{ArgError, Args};
 use resq_cli::spec::{parse_law, DynLaw, LawSpec};
-
-const USAGE: &str = "\
-resq — when to checkpoint at the end of a fixed-length reservation?
-
-USAGE:
-  resq <command> [--flag value]...
-
-COMMANDS:
-  plan-preemptible  optimal lead time for a preemptible application (paper §3)
-      --ckpt <law>            checkpoint-duration law (bounded support)
-      --reservation <R>
-      [--min-success <p>]     SLO floor on the checkpoint success probability
-  plan-static       checkpoint after n_opt tasks, decided up front (paper §4.2)
-      --task <law>            task-duration law (normal/gamma/poisson or any
-                              non-negative continuous law, via convolution)
-      --ckpt <law>            checkpoint law with support in [0, inf)
-      --reservation <R>
-  plan-dynamic      work threshold W_int for the online rule (paper §4.3)
-      --task <law>  --ckpt <law>  --reservation <R>
-  simulate          Monte-Carlo a threshold policy in the workflow scenario
-      --task <law>  --ckpt <law>  --reservation <R>  --threshold <W>
-      [--trials <n>=100000] [--seed <s>=42]
-  learn             learn the checkpoint law from a JSONL trace (paper: \"learned
-                    from traces of previous checkpoints\") and plan
-      --trace <file.jsonl>  --reservation <R>
-
-LAW SYNTAX:
-  uniform:a,b | exponential:lambda | normal:mu,sigma | lognormal:mu,sigma |
-  gamma:k,theta | poisson:lambda
-  Optional truncation suffix @lo,hi (empty side = infinite), e.g.
-  normal:5,0.4@0,   exponential:0.5@1,5
-";
+use resq_cli::USAGE;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -61,7 +37,7 @@ fn main() {
 
 fn run(tokens: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(tokens)?;
-    match args.command.as_deref() {
+    let result = match args.command.as_deref() {
         Some("plan-preemptible") => plan_preemptible(&args),
         Some("plan-static") => plan_static(&args),
         Some("plan-dynamic") => plan_dynamic(&args),
@@ -72,6 +48,56 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             Ok(())
         }
         Some(other) => Err(ArgError(format!("unknown command `{other}`"))),
+    };
+    if result.is_ok() && args.bool_flag("metrics") {
+        eprint!("{}", resq::obs::metrics::format_summary());
+    }
+    result
+}
+
+/// Per-command observability bundle: the event sink (JSONL when
+/// `--log-json` is given, null otherwise) plus everything needed to
+/// write the provenance manifest sidecar at the end.
+struct Obs {
+    sink: Box<dyn RunSink>,
+    log_path: Option<std::path::PathBuf>,
+    start: Instant,
+}
+
+impl Obs {
+    fn from_args(args: &Args) -> Result<Self, ArgError> {
+        let (sink, log_path): (Box<dyn RunSink>, _) = match args.get("log-json") {
+            Some(path) => {
+                let sink = JsonlSink::create(path)
+                    .map_err(|e| ArgError(format!("cannot create log `{path}`: {e}")))?;
+                (Box::new(sink), Some(std::path::PathBuf::from(path)))
+            }
+            None => (Box::new(NullSink), None),
+        };
+        Ok(Self {
+            sink,
+            log_path,
+            start: Instant::now(),
+        })
+    }
+
+    fn emit(&self, event: Event) {
+        self.sink.emit(event);
+    }
+
+    /// Flushes the event log and, when logging, writes the manifest
+    /// sidecar (`run.jsonl` → `run.manifest.json`) stamped with the
+    /// elapsed wall time.
+    fn finish(&self, manifest: RunManifest) -> Result<(), ArgError> {
+        self.sink.flush();
+        if let Some(path) = &self.log_path {
+            let sidecar = manifest
+                .wall_time_secs(self.start.elapsed().as_secs_f64())
+                .write_for(path)
+                .map_err(|e| ArgError(format!("cannot write manifest: {e}")))?;
+            eprintln!("manifest written  : {}", sidecar.display());
+        }
+        Ok(())
     }
 }
 
@@ -86,8 +112,17 @@ fn continuous(args: &Args, key: &str) -> Result<DynLaw, ArgError> {
 
 fn plan_preemptible(args: &Args) -> Result<(), ArgError> {
     let ckpt = continuous(args, "ckpt")?;
+    let ckpt_raw = args.require("ckpt")?.to_string();
     let r = args.require_f64("reservation")?;
     let min_success = args.f64_or("min-success", 0.0)?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "plan-preemptible")
+            .str("ckpt", ckpt_raw.as_str())
+            .f64("reservation", r)
+            .f64("min_success", min_success),
+    );
     let model = Preemptible::new(ckpt, r).map_err(|e| ArgError(e.to_string()))?;
     let plan = model
         .optimize_with_min_success(min_success)
@@ -107,13 +142,32 @@ fn plan_preemptible(args: &Args) -> Result<(), ArgError> {
     if min_success > 0.0 {
         println!("success-probability floor honoured: {min_success}");
     }
-    Ok(())
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .f64("lead_time", plan.lead_time)
+            .f64("expected_work", plan.expected_work)
+            .f64("success_probability", plan.success_probability),
+    );
+    obs.finish(
+        RunManifest::new("resq plan-preemptible")
+            .config("ckpt", ckpt_raw)
+            .config("reservation", r)
+            .config("min_success", min_success),
+    )
 }
 
 fn plan_static(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let ckpt = continuous(args, "ckpt")?;
     let task_raw = args.require("task")?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "plan-static")
+            .str("task", task_raw)
+            .str("ckpt", args.require("ckpt")?)
+            .f64("reservation", r),
+    );
     let plan = match parse_law(task_raw)? {
         LawSpec::Poisson(p) => StaticStrategy::new(p, ckpt, r)
             .map_err(|e| ArgError(e.to_string()))?
@@ -129,13 +183,31 @@ fn plan_static(args: &Args) -> Result<(), ArgError> {
     println!("reservation R  : {r}");
     println!("n_opt          : checkpoint after {} tasks", plan.n_opt);
     println!("E[saved work]  : {:.4}", plan.expected_work);
-    Ok(())
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("n_opt", plan.n_opt)
+            .f64("expected_work", plan.expected_work),
+    );
+    obs.finish(
+        RunManifest::new("resq plan-static")
+            .config("task", task_raw)
+            .config("ckpt", args.require("ckpt")?)
+            .config("reservation", r),
+    )
 }
 
 fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let ckpt = continuous(args, "ckpt")?;
     let task = continuous(args, "task")?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "plan-dynamic")
+            .str("task", args.require("task")?)
+            .str("ckpt", args.require("ckpt")?)
+            .f64("reservation", r),
+    );
     let task_mean = task.mean();
     let d = DynamicStrategy::new(task, ckpt, r).map_err(|e| ArgError(e.to_string()))?;
     match d.threshold() {
@@ -145,12 +217,23 @@ fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
             println!("threshold W_int   : {w:.4}");
             println!("rule              : checkpoint at the first task boundary with work >= W_int");
             println!("E[W_C](W_int)     : {:.4}", d.expect_checkpoint_now(w));
+            obs.emit(
+                Event::new(event_type::RUN_FINISHED)
+                    .bool("has_threshold", true)
+                    .f64("threshold", w),
+            );
         }
         None => {
             println!("no useful threshold: the reservation is too short for a checkpoint to plausibly fit");
+            obs.emit(Event::new(event_type::RUN_FINISHED).bool("has_threshold", false));
         }
     }
-    Ok(())
+    obs.finish(
+        RunManifest::new("resq plan-dynamic")
+            .config("task", args.require("task")?)
+            .config("ckpt", args.require("ckpt")?)
+            .config("reservation", r),
+    )
 }
 
 fn simulate(args: &Args) -> Result<(), ArgError> {
@@ -160,39 +243,112 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
     let threshold = args.require_f64("threshold")?;
     let trials = args.u64_or("trials", 100_000)?;
     let seed = args.u64_or("seed", 42)?;
+    let threads = args.u64_or("threads", 0)? as usize;
+    let sample_every = args.u64_or("sample-every", 10_000)?;
+    let progress = args.bool_flag("progress");
+    let obs = Obs::from_args(args)?;
+    // Config echo. Deliberately NO thread count here: the event log is
+    // byte-identical for a fixed seed regardless of --threads (threads
+    // and wall time are provenance and live in the manifest).
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "simulate")
+            .str("task", args.require("task")?)
+            .str("ckpt", args.require("ckpt")?)
+            .f64("reservation", r)
+            .f64("threshold", threshold)
+            .u64("trials", trials)
+            .u64("seed", seed)
+            .u64("sample_every", sample_every),
+    );
     let sim = WorkflowSim {
         reservation: r,
         task,
         ckpt,
     };
     let policy = resq::core::policy::ThresholdWorkflowPolicy { threshold };
-    let saved = run_trials(
-        MonteCarloConfig {
-            trials,
-            seed,
-            threads: 0,
-        },
-        |_, rng| sim.run_once(&policy, rng).work_saved,
-    );
-    let success = run_trials(
-        MonteCarloConfig {
-            trials,
-            seed,
-            threads: 0,
-        },
-        |_, rng| sim.run_once(&policy, rng).checkpoint_succeeded as u64 as f64,
-    );
+    let cfg = MonteCarloConfig {
+        trials,
+        seed,
+        threads,
+    };
+    let tick = (trials / 20).max(1);
+    let done = AtomicU64::new(0);
+    let saved = run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+        if progress {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if d % tick == 0 {
+                eprintln!("progress          : {d}/{trials} trials");
+            }
+        }
+        sim.run_once(&policy, rng).work_saved
+    });
+    let success = run_trials(cfg, |_, rng| {
+        sim.run_once(&policy, rng).checkpoint_succeeded as u64 as f64
+    });
+    // Policy decisions for the sampled trials, re-derived serially in
+    // index order so the log stays deterministic.
+    if obs.sink.enabled() && sample_every > 0 {
+        let mut i = 0;
+        while i < trials {
+            let mut rng = Xoshiro256pp::for_stream(seed, i);
+            let o = sim.run_once(&policy, &mut rng);
+            obs.emit(
+                Event::new(event_type::CHECKPOINT_DECISION)
+                    .u64("trial", i)
+                    .f64("threshold", threshold)
+                    .f64("work_at_checkpoint", o.work_at_checkpoint)
+                    .u64("tasks_completed", o.tasks_completed)
+                    .bool("attempted", o.checkpoint_attempted)
+                    .bool("succeeded", o.checkpoint_succeeded),
+            );
+            i += sample_every;
+        }
+    }
     let (lo, hi) = saved.ci95();
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("trials", saved.n)
+            .f64("mean_saved_work", saved.mean)
+            .f64("std_error", saved.std_error)
+            .f64("ci95_lo", lo)
+            .f64("ci95_hi", hi)
+            .f64("success_rate", success.mean)
+            .f64("min_saved", saved.min)
+            .f64("max_saved", saved.max),
+    );
     println!("trials            : {trials} (seed {seed})");
     println!("mean saved work   : {:.4}  (95% CI [{lo:.4}, {hi:.4}])", saved.mean);
     println!("success rate      : {:.4}", success.mean);
     println!("min / max saved   : {:.4} / {:.4}", saved.min, saved.max);
-    Ok(())
+    let resolved_threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    obs.finish(
+        RunManifest::new("resq simulate")
+            .config("task", args.require("task")?)
+            .config("ckpt", args.require("ckpt")?)
+            .config("reservation", r)
+            .config("threshold", threshold)
+            .config("sample_every", sample_every)
+            .seed(seed)
+            .threads(resolved_threads)
+            .trials(trials),
+    )
 }
 
 fn learn(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let path = args.require("trace")?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "learn")
+            .str("trace", path)
+            .f64("reservation", r),
+    );
     let log = resq::traces::TraceLog::load(std::path::Path::new(path))
         .map_err(|e| ArgError(format!("cannot read trace `{path}`: {e}")))?;
     let durations = log.completed_durations();
@@ -210,7 +366,19 @@ fn learn(args: &Args) -> Result<(), ArgError> {
     println!("optimal lead time : {:.4} s before the end", plan.lead_time);
     println!("  E[saved work]   : {:.4}", plan.expected_work);
     println!("pessimistic plan  : lead {:.4}, saves {:.4}", pess.lead_time, pess.expected_work);
-    Ok(())
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("observations", learned.observations as u64)
+            .str("family", format!("{:?}", learned.model.family()))
+            .f64("ks_statistic", learned.ks_statistic)
+            .f64("lead_time", plan.lead_time)
+            .f64("expected_work", plan.expected_work),
+    );
+    obs.finish(
+        RunManifest::new("resq learn")
+            .config("trace", path)
+            .config("reservation", r),
+    )
 }
 
 #[cfg(test)]
@@ -344,6 +512,109 @@ mod tests {
             "29"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn simulate_with_observability_writes_log_and_manifest() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("run.jsonl");
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "5000",
+            "--sample-every",
+            "1000",
+            "--metrics",
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .is_ok());
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.first().unwrap().contains("run-started"));
+        assert!(lines.last().unwrap().contains("run-finished"));
+        assert!(text.contains("chunk-progress"));
+        assert!(text.contains("trial-sample"));
+        assert!(text.contains("checkpoint-decision"));
+        for line in &lines {
+            resq::obs::json::parse(line).expect("every log line parses as JSON");
+        }
+        let manifest_path = dir.join("run.manifest.json");
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        let m = resq::obs::json::parse(&manifest).unwrap();
+        assert_eq!(m.get("tool").unwrap().as_str(), Some("resq simulate"));
+        assert!(m.get("wall_time_secs").unwrap().as_f64().unwrap() >= 0.0);
+        std::fs::remove_file(&log).ok();
+        std::fs::remove_file(&manifest_path).ok();
+    }
+
+    #[test]
+    fn simulate_event_log_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let capture = |threads: &str, name: &str| {
+            let log = dir.join(name);
+            run_tokens(&[
+                "simulate",
+                "--task",
+                "normal:3,0.5@0,",
+                "--ckpt",
+                "normal:5,0.4@0,",
+                "--reservation",
+                "29",
+                "--threshold",
+                "20.3",
+                "--trials",
+                "9000",
+                "--seed",
+                "5",
+                "--sample-every",
+                "2000",
+                "--threads",
+                threads,
+                "--log-json",
+                log.to_str().unwrap(),
+            ])
+            .unwrap();
+            let text = std::fs::read_to_string(&log).unwrap();
+            std::fs::remove_file(&log).ok();
+            std::fs::remove_file(dir.join(name.replace(".jsonl", ".manifest.json"))).ok();
+            text
+        };
+        let one = capture("1", "t1.jsonl");
+        let four = capture("4", "t4.jsonl");
+        assert_eq!(one, four, "event log must not depend on --threads");
+    }
+
+    #[test]
+    fn plan_commands_accept_log_json() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("plan.jsonl");
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "uniform:1,7.5",
+            "--reservation",
+            "10",
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .is_ok());
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert!(text.starts_with("{\"type\":\"run-started\""));
+        assert!(text.lines().last().unwrap().contains("run-finished"));
+        std::fs::remove_file(&log).ok();
+        std::fs::remove_file(dir.join("plan.manifest.json")).ok();
     }
 
     #[test]

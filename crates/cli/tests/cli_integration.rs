@@ -91,6 +91,63 @@ fn simulate_emits_confidence_interval() {
 }
 
 #[test]
+fn simulate_observability_end_to_end() {
+    // The ISSUE.md acceptance command, scaled down for debug-mode CI:
+    // `--log-json` must yield a parseable JSONL stream that starts with
+    // run-started, ends with run-finished, and has a manifest sidecar;
+    // `--metrics` must print counter summaries on stderr.
+    let dir = std::env::temp_dir().join("resq-cli-int-obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("run.jsonl");
+    let out = resq(&[
+        "simulate",
+        "--task",
+        "normal:3,0.5@0,",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+        "--threshold",
+        "20.3",
+        "--trials",
+        "20000",
+        "--sample-every",
+        "4000",
+        "--metrics",
+        "--log-json",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 5, "log too short:\n{text}");
+    for line in &lines {
+        let row = resq::obs::json::parse(line).expect("log line is valid JSON");
+        let ty = row.get("type").and_then(|t| t.as_str()).expect("row has a type");
+        assert!(
+            resq::obs::event_type::ALL.contains(&ty),
+            "unknown event type {ty}"
+        );
+    }
+    assert!(lines.first().unwrap().contains("\"run-started\""));
+    assert!(lines.last().unwrap().contains("\"run-finished\""));
+
+    let manifest_path = dir.join("run.manifest.json");
+    let manifest = resq::obs::json::parse(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    assert_eq!(manifest.get("tool").unwrap().as_str(), Some("resq simulate"));
+    assert_eq!(manifest.get("seed").unwrap().as_u64(), Some(42));
+    assert_eq!(manifest.get("trials").unwrap().as_u64(), Some(20000));
+
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mc_trials_run"), "metrics missing from stderr:\n{err}");
+    assert!(err.contains("rng_stream_derivations"), "{err}");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&manifest_path).ok();
+}
+
+#[test]
 fn bad_flags_fail_with_usage_on_stderr() {
     let out = resq(&["plan-preemptible", "--reservation", "10"]);
     assert!(!out.status.success());

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! `benchmark_group`/`bench_function`, [`Bencher::iter`], [`black_box`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark runs a short
+//! warm-up, then a fixed number of timed batches, and reports the
+//! median per-iteration time to stdout. No HTML reports, no history,
+//! no outlier analysis: enough to spot order-of-magnitude regressions
+//! offline, API-identical so the real crate can be swapped back in.
+
+#![deny(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation. Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier combining a function name and a parameter,
+/// printed as `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a name and a displayed parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion trait so `bench_function` accepts `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The full display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Number of timed batches (one duration sample per batch).
+    samples: usize,
+    /// Iterations per batch.
+    iters_per_sample: u64,
+    /// Collected per-iteration durations in nanoseconds.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to collect the
+    /// configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that makes one
+        // batch take roughly 5ms so Instant overhead is negligible.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos() as f64 / calib_iters.max(1) as f64;
+        self.iters_per_sample = ((5.0e6 / per_iter.max(0.5)) as u64).clamp(1, 10_000_000);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.results.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut sorted = self.results.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            iters_per_sample: 1,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} time: [{} per iter, median of {} samples]",
+            self.name,
+            id,
+            format_ns(bencher.median_ns()),
+            bencher.results.len()
+        );
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Final hook invoked by [`criterion_main!`]; prints nothing here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions. Mirror of
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running one or more groups. Mirror of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with --test; skip the
+            // timing loops there so test runs stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("increment", |b| b.iter(|| count = count.wrapping_add(1)));
+        g.bench_function(BenchmarkId::new("param", 4), |b| {
+            b.iter(|| black_box(4u64 * 4))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("batch", 8).into_id(), "batch/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses exactly two pieces of crossbeam 0.8: scoped
+//! threads (`crossbeam::scope`) and the cloneable unbounded MPMC channel
+//! (`crossbeam::channel::unbounded`). Both are reimplemented here on top
+//! of `std::thread::scope` and `std::sync::mpsc` so the workspace builds
+//! without registry access. Semantics differences from the real crate:
+//!
+//! * a panicking child thread propagates the panic out of [`scope`]
+//!   (after joining all threads) instead of surfacing it in the returned
+//!   `Result` — callers that `.expect()` the result behave identically;
+//! * [`channel::Receiver::recv`] holds an internal mutex while waiting,
+//!   which is fair enough for the work-queue pattern used in
+//!   `resq-sim` (queue fully loaded before workers start).
+
+#![deny(missing_docs)]
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`] closures; mirrors
+/// `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a [`Scope`] so it can
+    /// spawn further threads (crossbeam signature compatibility).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the
+/// enclosing stack frame. All spawned threads are joined before `scope`
+/// returns. Mirrors `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+/// Multi-producer multi-consumer channels (the `unbounded` flavor only).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when all receivers have been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; errors only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half; cloneable (workers share one queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .expect("channel mutex poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_queue_pattern_drains_fully() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v + 1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (1..=100).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            let flag = &flag;
+            s.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! tiny slice of `rand` 0.8 it actually uses — the [`RngCore`] and
+//! [`SeedableRng`] traits plus the opaque [`Error`] type — is vendored
+//! here and wired in through a path dependency. The trait definitions
+//! match `rand_core` 0.6 signatures exactly, so swapping the real crate
+//! back in is a one-line Cargo.toml change.
+
+#![deny(missing_docs)]
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this workspace; exists for signature
+/// compatibility with `rand_core`).
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: 32/64-bit output and byte
+/// filling. Mirror of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible byte filling (infallible for all workspace generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte array. Mirror of
+/// `rand_core::SeedableRng` (the subset the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it into the seed
+    /// bytes (little-endian, repeated).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = state.to_le_bytes()[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn traits_are_object_and_ref_safe() {
+        let mut rng = Lcg(7);
+        let r: &mut dyn RngCore = &mut rng;
+        let mut by_ref = r;
+        assert_ne!(by_ref.next_u64(), by_ref.next_u64());
+        let mut buf = [0u8; 3];
+        by_ref.try_fill_bytes(&mut buf).unwrap();
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Lcg::seed_from_u64(42);
+        let mut b = Lcg::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

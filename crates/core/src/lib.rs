@@ -18,14 +18,15 @@
 //!   the numeric ones (Normal, LogNormal).
 //! * [`workflow`] — §4: the application is a chain of IID stochastic
 //!   tasks; checkpoints only at task boundaries.
-//!   [`workflow::StaticStrategy`] computes `n_opt` before execution
+//!   [`workflow::statics::StaticStrategy`] computes `n_opt` before execution
 //!   (§4.2, Normal/Gamma/Poisson task laws via their closure under IID
-//!   summation); [`workflow::DynamicStrategy`] decides checkpoint-vs-
+//!   summation); [`workflow::dynamic::DynamicStrategy`] decides checkpoint-vs-
 //!   continue at the end of every task (§4.3) and exposes the work
 //!   threshold `W_int`.
-//! * [`policy`] — a common [`policy::ReservationPolicy`] interface so the
-//!   `resq-sim` Monte-Carlo engine can execute and compare all strategies
-//!   (optimal, pessimistic `X = C_max`, oracle, static, dynamic).
+//! * [`policy`] — the common [`policy::PreemptiblePolicy`] /
+//!   [`policy::WorkflowPolicy`] interfaces so the `resq-sim` Monte-Carlo
+//!   engine can execute and compare all strategies (optimal, pessimistic
+//!   `X = C_max`, oracle, static, dynamic).
 //! * [`reservation`] — §4.4 and beyond: multi-reservation campaigns with
 //!   recovery cost, continue-vs-drop decisions and the two billing models
 //!   discussed by the paper (pay-per-reservation vs pay-per-use).

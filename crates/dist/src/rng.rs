@@ -94,6 +94,7 @@ impl Xoshiro256pp {
     /// The generator for Monte-Carlo trial `index` under `base_seed`:
     /// decorrelated from all other indices, independent of scheduling.
     pub fn for_stream(base_seed: u64, index: u64) -> Self {
+        resq_obs::metrics::RNG_STREAM_DERIVATIONS.inc();
         Self::new(SplitMix64::derive(base_seed, index))
     }
 

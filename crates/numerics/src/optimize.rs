@@ -34,7 +34,9 @@ pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> E
     let mut fv = fx;
     let mut d: f64 = 0.0;
     let mut e: f64 = 0.0;
+    let mut iters = resq_obs::metrics::OPTIMIZER_ITERATIONS.tally();
     for _ in 0..200 {
+        iters.inc();
         let m = 0.5 * (a + b);
         let tol1 = xtol.max(1e-15) + f64::EPSILON * x.abs();
         let tol2 = 2.0 * tol1;
@@ -166,6 +168,7 @@ pub fn grid_max<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, spec: GridSpec) 
             best_i = i;
         }
     }
+    resq_obs::metrics::OPTIMIZER_ITERATIONS.add(n as u64);
     // Refine inside the two cells adjacent to the best sample.
     let lo = xs[best_i.saturating_sub(1)];
     let hi = xs[(best_i + 1).min(n - 1)];
@@ -197,6 +200,7 @@ pub fn integer_argmax<F: FnMut(u64) -> f64>(mut f: F, lo: u64, hi: u64) -> (u64,
             best_n = n;
         }
     }
+    resq_obs::metrics::OPTIMIZER_ITERATIONS.add(hi - lo + 1);
     (best_n, best_v)
 }
 

@@ -72,6 +72,8 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64
         value.add(v);
         error += e;
     }
+    // One batched metric update per quadrature call, not per evaluation.
+    resq_obs::metrics::QUADRATURE_EVALS.add(evals as u64);
     QuadResult {
         value: value.value(),
         error,
@@ -175,6 +177,7 @@ impl GaussLegendre {
         for (&x, &w) in self.nodes.iter().zip(&self.weights) {
             acc.add(w * f(c * x + d));
         }
+        resq_obs::metrics::QUADRATURE_EVALS.add(self.nodes.len() as u64);
         c * acc.value()
     }
 

@@ -39,7 +39,9 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     if fa.signum() == fb.signum() || fa.is_nan() || fb.is_nan() {
         return Err(BracketError);
     }
+    let mut iters = resq_obs::metrics::ROOT_ITERATIONS.tally();
     for _ in 0..200 {
+        iters.inc();
         let m = 0.5 * (a + b);
         if (b - a).abs() <= tol || m == a || m == b {
             return Ok(m);
@@ -84,7 +86,9 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
     let (mut c, mut fc) = (a, fa);
     let mut d = b - a;
     let mut e = d;
+    let mut iters = resq_obs::metrics::ROOT_ITERATIONS.tally();
     for _ in 0..200 {
+        iters.inc();
         if fb.abs() > fc.abs() {
             // Ensure b is the best estimate.
             a = b;
@@ -173,7 +177,9 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
     // Orient so f(a) < 0 < f(b).
     let (mut a, mut b) = if flo < 0.0 { (lo, hi) } else { (hi, lo) };
     let mut x = 0.5 * (lo + hi);
+    let mut iters = resq_obs::metrics::ROOT_ITERATIONS.tally();
     for _ in 0..100 {
+        iters.inc();
         let (fx, dfx) = fdf(x);
         if fx == 0.0 {
             return Ok(x);

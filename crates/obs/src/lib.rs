@@ -1,0 +1,53 @@
+//! Observability layer for the `resq` workspace: structured run events,
+//! cheap global metrics, and provenance manifests.
+//!
+//! The crate sits at the very bottom of the dependency stack (std only)
+//! so every other crate — numerics, core, sim, bench, cli — can emit
+//! into it without cycles. Three independent facilities:
+//!
+//! * **Events** ([`Event`], [`RunSink`]): typed JSONL rows describing
+//!   the lifecycle of one run (`run-started` … `run-finished`). A
+//!   [`NullSink`] makes the disabled path a no-op; a [`JsonlSink`]
+//!   streams rows to disk. Event rows never contain wall-clock times or
+//!   thread counts, so a fixed seed produces a byte-identical log
+//!   regardless of parallelism (see `tests/determinism.rs` at the
+//!   workspace root).
+//! * **Metrics** ([`metrics`]): process-global atomic counters and
+//!   histograms (quadrature evaluations, Brent iterations, RNG stream
+//!   derivations, Monte-Carlo trial throughput). Increments are batched
+//!   at call sites so hot loops pay one relaxed atomic add per call,
+//!   not per iteration.
+//! * **Manifests** ([`RunManifest`]): a JSON sidecar written next to
+//!   every results artifact recording the exact configuration, seed,
+//!   thread count, wall time, crate version and git revision that
+//!   produced it.
+//!
+//! The JSON emitted and parsed here is hand-rolled ([`json`]) in line
+//! with the workspace's offline-crates policy: no registry access is
+//! assumed anywhere in the build.
+//!
+//! # Example
+//!
+//! ```
+//! use resq_obs::{Event, MemorySink, RunSink, event_type};
+//!
+//! let sink = MemorySink::new();
+//! sink.emit(Event::new(event_type::RUN_STARTED).u64("seed", 42).u64("trials", 1000));
+//! sink.emit(Event::new(event_type::RUN_FINISHED).f64("mean", 3.5));
+//! let lines = sink.lines();
+//! assert!(lines[0].starts_with("{\"type\":\"run-started\""));
+//! assert!(lines[1].contains("\"mean\":3.5"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod json;
+
+mod event;
+mod manifest;
+pub mod metrics;
+mod sink;
+
+pub use event::{event_type, Event};
+pub use manifest::{git_rev, RunManifest};
+pub use sink::{JsonlSink, MemorySink, NullSink, RunSink};

@@ -1,0 +1,332 @@
+//! Process-global metrics: relaxed atomic counters and a power-of-two
+//! histogram, cheap enough to leave compiled into release builds.
+//!
+//! Counters are incremented in *batches* at call sites — e.g. the
+//! adaptive quadrature adds its whole evaluation count once per call —
+//! so the hot paths pay one relaxed `fetch_add` per operation, not per
+//! inner-loop iteration.
+//!
+//! The canonical metric registry is [`ALL_COUNTERS`] /
+//! [`ALL_HISTOGRAMS`]; `docs/OBSERVABILITY.md` is checked against those
+//! names by `tests/docs_sync.rs`, and the CLI `--metrics` flag prints
+//! [`format_summary`] to stderr.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named, process-global monotone counter.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Declares a counter (used by this crate's statics).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric name, e.g. `quadrature_evals`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Adds `n` (relaxed ordering; totals are exact, inter-counter
+    /// ordering is not guaranteed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run CLI deltas).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// A local accumulator that flushes into this counter when dropped —
+    /// one atomic add per call site regardless of how many increments or
+    /// early returns the function has.
+    pub fn tally(&self) -> Tally<'_> {
+        Tally { counter: self, n: 0 }
+    }
+}
+
+/// Local batch accumulator from [`Counter::tally`]; flushes on drop.
+pub struct Tally<'a> {
+    counter: &'a Counter,
+    n: u64,
+}
+
+impl Tally<'_> {
+    /// Adds one to the local batch.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.n += 1;
+    }
+
+    /// Adds `n` to the local batch.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.n += n;
+    }
+}
+
+impl Drop for Tally<'_> {
+    fn drop(&mut self) {
+        self.counter.add(self.n);
+    }
+}
+
+/// Number of buckets in [`Histogram`]: values `0, 1, 2-3, 4-7, …,
+/// ≥2^30`.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A named power-of-two histogram: bucket `i` counts observations `v`
+/// with `floor(log2(v)) + 1 == i` (bucket 0 counts `v == 0`), saturated
+/// into the last bucket.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    /// Declares a histogram (used by this crate's statics).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot of non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    Some((lower, n))
+                }
+            })
+            .collect()
+    }
+
+    /// Resets all buckets to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Function evaluations performed by `resq_numerics::quad` integrators.
+pub static QUADRATURE_EVALS: Counter = Counter::new(
+    "quadrature_evals",
+    "integrand evaluations across all quadrature calls",
+);
+
+/// Iterations of the Brent/bisection root finders in
+/// `resq_numerics::roots`.
+pub static ROOT_ITERATIONS: Counter = Counter::new(
+    "root_iterations",
+    "iterations across all root-finder calls (Brent and bisection)",
+);
+
+/// Iterations of the Brent/golden-section optimizers in
+/// `resq_numerics::optimize`.
+pub static OPTIMIZER_ITERATIONS: Counter = Counter::new(
+    "optimizer_iterations",
+    "iterations across all 1-D minimizer/maximizer calls",
+);
+
+/// Per-trial RNG streams derived by `resq_dist::rng` (`for_stream`).
+pub static RNG_STREAM_DERIVATIONS: Counter = Counter::new(
+    "rng_stream_derivations",
+    "independent RNG streams split off the base seed",
+);
+
+/// Monte-Carlo trials completed by `resq_sim::monte_carlo`.
+pub static MC_TRIALS_RUN: Counter = Counter::new(
+    "mc_trials_run",
+    "Monte-Carlo trials completed across all runs",
+);
+
+/// Trial chunks completed by the Monte-Carlo work queue.
+pub static MC_CHUNKS_RUN: Counter = Counter::new(
+    "mc_chunks_run",
+    "fixed-size trial chunks drained from the Monte-Carlo work queue",
+);
+
+/// Monte-Carlo batch runs started (`run_trials*` calls).
+pub static MC_RUNS: Counter = Counter::new(
+    "mc_runs",
+    "Monte-Carlo batch runs (run_trials calls) started",
+);
+
+/// Distribution of trials processed per worker thread per run —
+/// lopsided buckets mean poor load balance.
+pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
+    "mc_worker_trials",
+    "trials processed per worker thread per Monte-Carlo run (power-of-two buckets)",
+);
+
+/// Every registered counter, in display order.
+pub static ALL_COUNTERS: &[&Counter] = &[
+    &QUADRATURE_EVALS,
+    &ROOT_ITERATIONS,
+    &OPTIMIZER_ITERATIONS,
+    &RNG_STREAM_DERIVATIONS,
+    &MC_TRIALS_RUN,
+    &MC_CHUNKS_RUN,
+    &MC_RUNS,
+];
+
+/// Every registered histogram, in display order.
+pub static ALL_HISTOGRAMS: &[&Histogram] = &[&MC_WORKER_TRIALS];
+
+/// Resets every registered metric (tests; CLI per-run deltas).
+pub fn reset_all() {
+    for c in ALL_COUNTERS {
+        c.reset();
+    }
+    for h in ALL_HISTOGRAMS {
+        h.reset();
+    }
+}
+
+/// Snapshot of all counters as `(name, value)` pairs.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    ALL_COUNTERS.iter().map(|c| (c.name(), c.get())).collect()
+}
+
+/// Human-readable multi-line summary of all metrics, as printed by the
+/// CLI `--metrics` flag. Zero-valued counters are included so the set
+/// of lines is predictable for tooling.
+pub fn format_summary() -> String {
+    let mut out = String::from("metrics:\n");
+    for c in ALL_COUNTERS {
+        out.push_str(&format!("  {:<24} {:>12}  {}\n", c.name(), c.get(), c.help()));
+    }
+    for h in ALL_HISTOGRAMS {
+        out.push_str(&format!(
+            "  {:<24} {:>12}  {}\n",
+            h.name(),
+            h.count(),
+            h.help()
+        ));
+        for (lower, n) in h.nonzero_buckets() {
+            out.push_str(&format!("    >= {lower:<12} {n:>10}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        static C: Counter = Counter::new("test_counter", "test");
+        C.add(5);
+        C.inc();
+        C.add(0);
+        assert_eq!(C.get(), 6);
+        C.reset();
+        assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        static H: Histogram = Histogram::new("test_hist", "test");
+        H.record(0);
+        H.record(1);
+        H.record(2);
+        H.record(3);
+        H.record(4096);
+        assert_eq!(H.count(), 5);
+        let buckets = H.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4096, 1)]);
+        H.reset();
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names = std::collections::BTreeSet::new();
+        for c in ALL_COUNTERS {
+            assert!(names.insert(c.name()), "duplicate metric {}", c.name());
+        }
+        for h in ALL_HISTOGRAMS {
+            assert!(names.insert(h.name()), "duplicate metric {}", h.name());
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_metric() {
+        let text = format_summary();
+        for c in ALL_COUNTERS {
+            assert!(text.contains(c.name()), "summary missing {}", c.name());
+        }
+        for h in ALL_HISTOGRAMS {
+            assert!(text.contains(h.name()), "summary missing {}", h.name());
+        }
+    }
+}

@@ -43,6 +43,9 @@
 //!   [`DynamicStrategy`] (§4.3), policies, multi-reservation campaigns.
 //! * [`sim`] — reservation simulator + parallel Monte-Carlo harness.
 //! * [`traces`] — learning the checkpoint law from logs.
+//! * [`obs`] — structured run events, global metrics and provenance
+//!   manifests (the observability layer threaded through all of the
+//!   above).
 
 pub use resq_core::{
     Action, CampaignModel, CheckpointPlan, ControllerState, ConvolutionStatic, CoreError,
@@ -82,6 +85,12 @@ pub mod sim {
 /// `resq-traces`).
 pub mod traces {
     pub use resq_traces::*;
+}
+
+/// Observability: structured run events, metrics and provenance
+/// manifests (re-export of `resq-obs`).
+pub mod obs {
+    pub use resq_obs::*;
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::stats::{Summary, Welford};
 use resq_dist::Xoshiro256pp;
+use resq_obs::{event_type, metrics, Event, NullSink, RunSink};
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -64,33 +65,71 @@ pub fn run_trials<F>(config: MonteCarloConfig, trial: F) -> Summary
 where
     F: Fn(u64, &mut Xoshiro256pp) -> f64 + Sync,
 {
-    // Fixed-size chunks (independent of thread count) accumulated into
-    // per-chunk Welfords and merged in chunk order — bit-identical
-    // results whether 1 or 64 workers run them.
-    const CHUNK: u64 = 4096;
+    run_trials_observed(config, &NullSink, 0, trial)
+}
+
+/// Size of the fixed work-queue chunks. Independent of thread count by
+/// design: per-chunk accumulators merged in chunk order make results
+/// (and event logs) bit-identical whether 1 or 64 workers run them.
+pub const CHUNK: u64 = 4096;
+
+/// [`run_trials`] with structured observability: emits `trial-sample`
+/// rows (one per trial index divisible by `sample_every`, when non-zero)
+/// and `chunk-progress` rows (one per chunk, with the cumulative trial
+/// count and running mean) into `sink`.
+///
+/// Determinism contract: workers buffer events per chunk; the
+/// coordinating thread emits all buffers *in chunk order* after the run,
+/// so for a fixed `(trials, seed, sample_every)` the emitted log is
+/// byte-identical regardless of `threads`. Rows carry no wall-clock
+/// times and no thread counts — that provenance belongs in a
+/// [`resq_obs::RunManifest`]. Callers that want framing rows
+/// (`run-started` / `run-finished`) emit them around this call, where
+/// the full configuration is known.
+pub fn run_trials_observed<F>(
+    config: MonteCarloConfig,
+    sink: &dyn RunSink,
+    sample_every: u64,
+    trial: F,
+) -> Summary
+where
+    F: Fn(u64, &mut Xoshiro256pp) -> f64 + Sync,
+{
+    metrics::MC_RUNS.inc();
+    let observing = sink.enabled();
     let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
     let run_chunk = |c: usize| {
         let lo = c as u64 * CHUNK;
         let hi = (lo + CHUNK).min(config.trials);
         let mut acc = Welford::new();
+        let mut events: Vec<Event> = Vec::new();
         for i in lo..hi {
             let mut rng = Xoshiro256pp::for_stream(config.seed, i);
-            acc.add(trial(i, &mut rng));
+            let value = trial(i, &mut rng);
+            acc.add(value);
+            if observing && sample_every > 0 && i % sample_every == 0 {
+                events.push(
+                    Event::new(event_type::TRIAL_SAMPLE)
+                        .u64("trial", i)
+                        .f64("value", value),
+                );
+            }
         }
-        acc
+        (acc, events)
     };
 
     let threads = config.resolved_threads().max(1).min(n_chunks);
-    let mut partials: Vec<Welford> = vec![Welford::new(); n_chunks];
+    let mut partials: Vec<(Welford, Vec<Event>)> = vec![(Welford::new(), Vec::new()); n_chunks];
     if threads == 1 {
         for (c, slot) in partials.iter_mut().enumerate() {
             *slot = run_chunk(c);
         }
+        metrics::MC_WORKER_TRIALS.record(config.trials);
     } else {
         crossbeam::scope(|scope| {
             // Hand out (chunk index, output slot) pairs through a channel
             // so slots are written exactly once without locking.
-            let (tx, rx) = crossbeam::channel::unbounded::<(usize, &mut Welford)>();
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, &mut (Welford, Vec<Event>))>();
             for (c, slot) in partials.iter_mut().enumerate() {
                 tx.send((c, slot)).expect("channel send");
             }
@@ -99,9 +138,12 @@ where
                 let rx = rx.clone();
                 let run_chunk = &run_chunk;
                 scope.spawn(move |_| {
+                    let mut worker_trials = 0u64;
                     while let Ok((c, slot)) = rx.recv() {
                         *slot = run_chunk(c);
+                        worker_trials += slot.0.count();
                     }
+                    metrics::MC_WORKER_TRIALS.record(worker_trials);
                 });
             }
         })
@@ -109,9 +151,22 @@ where
     }
 
     let mut total = Welford::new();
-    for p in &partials {
-        total.merge(p);
+    for (c, (p, events)) in partials.into_iter().enumerate() {
+        for event in events {
+            sink.emit(event);
+        }
+        total.merge(&p);
+        if observing {
+            sink.emit(
+                Event::new(event_type::CHUNK_PROGRESS)
+                    .u64("chunk", c as u64)
+                    .u64("trials_done", total.count())
+                    .f64("running_mean", total.mean()),
+            );
+        }
     }
+    metrics::MC_TRIALS_RUN.add(config.trials);
+    metrics::MC_CHUNKS_RUN.add(n_chunks as u64);
     total.summary()
 }
 
@@ -241,6 +296,68 @@ mod tests {
         let values: Vec<f64> = run_trials_with(cfg, |_, rng| law.sample(rng));
         let w: crate::stats::Welford = values.into_iter().collect();
         assert!((summary.mean - w.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_logs_in_order() {
+        let law = Normal::new(3.0, 0.5).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 10_000,
+            seed: 13,
+            threads: 3,
+        };
+        let plain = run_trials(cfg, |_, rng| law.sample(rng));
+        let sink = resq_obs::MemorySink::new();
+        let observed = run_trials_observed(cfg, &sink, 1000, |_, rng| law.sample(rng));
+        assert_eq!(plain.mean, observed.mean, "observation must not perturb results");
+        assert_eq!(plain.std_dev, observed.std_dev);
+
+        let lines = sink.lines();
+        // 10 sampled trials (0, 1000, ..., 9000) + 3 chunks of 4096.
+        let samples: Vec<_> = lines.iter().filter(|l| l.contains("trial-sample")).collect();
+        let progress: Vec<_> = lines.iter().filter(|l| l.contains("chunk-progress")).collect();
+        assert_eq!(samples.len(), 10);
+        assert_eq!(progress.len(), 3);
+        // Chunk-progress rows are cumulative and ordered.
+        assert!(progress[0].contains("\"trials_done\":4096"));
+        assert!(progress[2].contains("\"trials_done\":10000"));
+        // No wall-clock, no thread counts anywhere in the log.
+        for l in &lines {
+            assert!(!l.contains("threads"), "event log leaked thread count: {l}");
+            assert!(!l.contains("wall"), "event log leaked wall time: {l}");
+        }
+    }
+
+    #[test]
+    fn observed_log_is_identical_across_thread_counts() {
+        let law = Normal::new(5.0, 0.4).unwrap();
+        let capture = |threads| {
+            let sink = resq_obs::MemorySink::new();
+            let cfg = MonteCarloConfig {
+                trials: 20_000,
+                seed: 21,
+                threads,
+            };
+            run_trials_observed(cfg, &sink, 500, |_, rng| law.sample(rng));
+            sink.lines()
+        };
+        let log1 = capture(1);
+        let log4 = capture(4);
+        let log7 = capture(7);
+        assert_eq!(log1, log4, "1 vs 4 threads");
+        assert_eq!(log4, log7, "4 vs 7 threads");
+    }
+
+    #[test]
+    fn null_sink_emits_nothing_and_changes_nothing() {
+        let cfg = MonteCarloConfig {
+            trials: 5000,
+            seed: 9,
+            threads: 2,
+        };
+        let a = run_trials(cfg, |i, _| i as f64);
+        let b = run_trials_observed(cfg, &resq_obs::NullSink, 100, |i, _| i as f64);
+        assert_eq!(a.mean, b.mean);
     }
 
     #[test]

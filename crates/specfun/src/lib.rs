@@ -14,18 +14,18 @@
 //! permitted offline crates provide these, so this crate implements them
 //! with double-precision accuracy:
 //!
-//! * [`erf`], [`erfc`], [`erfcx`], [`inv_erf`], [`inv_erfc`] — error
+//! * [`erf()`], [`erfc`], [`erfcx`], [`inv_erf`], [`inv_erfc`] — error
 //!   function family (fdlibm-style rational approximations).
 //! * [`norm_cdf`], [`norm_pdf`], [`norm_quantile`] — standard Normal
 //!   helpers (`Φ`, `φ`, `Φ⁻¹`).
-//! * [`ln_gamma`], [`gamma`], [`digamma`], [`trigamma`] — Gamma function
+//! * [`ln_gamma`], [`gamma()`], [`digamma`], [`trigamma`] — Gamma function
 //!   family (Lanczos approximation, asymptotic series).
 //! * [`gamma_p`], [`gamma_q`], [`inv_gamma_p`] — regularized incomplete
 //!   gamma functions and their inverse.
 //! * [`ln_beta`], [`inc_beta`], [`inv_inc_beta`] — regularized incomplete
 //!   beta function and inverse.
 //! * [`lambert_w0`], [`lambert_wm1`] — both real branches of Lambert's W.
-//! * [`ln_factorial`], [`factorial`] — factorials with a cached table.
+//! * [`ln_factorial`], [`factorial()`] — factorials with a cached table.
 //!
 //! All functions are pure, allocation-free and `f64`-based. Invalid inputs
 //! yield `NaN` (documented per function) so they compose cleanly inside

@@ -6,12 +6,12 @@
 //! an append-friendly collection with JSONL (one JSON object per line)
 //! round-tripping — the format a batch scheduler epilogue can emit.
 
-use serde::{Deserialize, Serialize};
+use resq_obs::json::{self, write_f64, JsonValue};
 use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// One observed checkpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Reservation identifier (for grouping; not interpreted).
     pub reservation_id: u64,
@@ -36,6 +36,49 @@ impl TraceRecord {
             bytes: 0,
             completed: true,
         }
+    }
+
+    /// Serializes as one JSON object (the JSONL line format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"reservation_id\":");
+        out.push_str(&self.reservation_id.to_string());
+        out.push_str(",\"started_at\":");
+        write_f64(&mut out, self.started_at);
+        out.push_str(",\"duration\":");
+        write_f64(&mut out, self.duration);
+        out.push_str(",\"bytes\":");
+        out.push_str(&self.bytes.to_string());
+        out.push_str(",\"completed\":");
+        out.push_str(if self.completed { "true" } else { "false" });
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line; every field is required.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let field = |name: &str| -> Result<&JsonValue, String> {
+            v.get(name).ok_or_else(|| format!("missing field `{name}`"))
+        };
+        let num = |name: &str| -> Result<f64, String> {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| format!("field `{name}` is not a number"))
+        };
+        Ok(Self {
+            reservation_id: field("reservation_id")?
+                .as_u64()
+                .ok_or("field `reservation_id` is not an integer")?,
+            started_at: num("started_at")?,
+            duration: num("duration")?,
+            bytes: field("bytes")?
+                .as_u64()
+                .ok_or("field `bytes` is not an integer")?,
+            completed: field("completed")?
+                .as_bool()
+                .ok_or("field `completed` is not a boolean")?,
+        })
     }
 }
 
@@ -96,7 +139,7 @@ impl TraceLog {
     /// Serializes as JSONL into any writer.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         for r in &self.records {
-            serde_json::to_writer(&mut w, r)?;
+            w.write_all(r.to_json().as_bytes())?;
             w.write_all(b"\n")?;
         }
         Ok(())
@@ -111,7 +154,7 @@ impl TraceLog {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: TraceRecord = serde_json::from_str(&line)
+            let rec = TraceRecord::from_json(&line)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             log.push(rec);
         }

@@ -69,6 +69,51 @@ fn per_trial_values_depend_only_on_seed_and_index() {
 }
 
 #[test]
+fn observed_event_log_bit_identical_across_thread_counts() {
+    // The observability layer rides along with the Monte-Carlo harness,
+    // so it inherits the same contract: for a fixed seed the JSONL
+    // event stream must be byte-identical no matter how many worker
+    // threads ran the trials. Events are buffered per chunk and emitted
+    // in chunk order, trial sampling is keyed on the trial index, and
+    // no event row carries a thread count or wall-clock time.
+    use resq::obs::MemorySink;
+    use resq::sim::run_trials_observed;
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let run = |threads: usize| {
+        let sink = MemorySink::new();
+        let summary = run_trials_observed(
+            MonteCarloConfig {
+                trials: 25_000,
+                seed: 99,
+                threads,
+            },
+            &sink,
+            1_000,
+            |_, rng| s.run_once(&policy, rng).work_saved,
+        );
+        (summary, sink.lines())
+    };
+    let (base_summary, base_log) = run(1);
+    assert!(!base_log.is_empty());
+    for threads in [2usize, 3, 5, 8] {
+        let (summary, log) = run(threads);
+        assert_eq!(
+            base_summary.mean.to_bits(),
+            summary.mean.to_bits(),
+            "summary differs at {threads} threads"
+        );
+        assert_eq!(base_log, log, "event log differs at {threads} threads");
+    }
+    // Belt and braces: nothing thread- or time-dependent leaked into a row.
+    for line in &base_log {
+        assert!(!line.contains("threads"), "thread count in event: {line}");
+        assert!(!line.contains("wall"), "wall time in event: {line}");
+    }
+}
+
+#[test]
 fn analytic_planning_is_deterministic() {
     // No RNG involved: repeated planning gives identical bits.
     use resq::{DynamicStrategy, StaticStrategy};

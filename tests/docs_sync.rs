@@ -1,0 +1,151 @@
+//! Docs stay honest: every `resq` invocation in the README and the
+//! operations guide must parse against the real CLI (subcommand and
+//! flags present in `resq_cli::USAGE`, flag/value pairing accepted by
+//! `resq_cli::args::Args`), and `docs/OBSERVABILITY.md` must name every
+//! event type and metric the code can emit.
+
+use resq_cli::args::Args;
+use resq_cli::USAGE;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/cli → two levels up.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap();
+    PathBuf::from(manifest)
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts every `resq …` command from fenced code blocks, joining
+/// backslash-continued lines. Both the bare form (`resq simulate …`)
+/// and the cargo form (`cargo run … -p resq-cli -- simulate …`) count.
+fn resq_invocations(text: &str) -> Vec<Vec<String>> {
+    let mut out: Vec<String> = Vec::new();
+    let mut in_fence = false;
+    let mut current: Option<String> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with("```") {
+            in_fence = !in_fence;
+            current = None;
+            continue;
+        }
+        if !in_fence {
+            continue;
+        }
+        let continued = line.ends_with('\\');
+        let body = line.trim_end_matches('\\').trim();
+        match current.as_mut() {
+            Some(cmd) => {
+                cmd.push(' ');
+                cmd.push_str(body);
+                if !continued {
+                    out.push(current.take().unwrap());
+                }
+            }
+            None => {
+                let tail = if let Some(ix) = body.find("-p resq-cli -- ") {
+                    Some(&body[ix + "-p resq-cli -- ".len()..])
+                } else {
+                    body.strip_prefix("resq ")
+                };
+                if let Some(t) = tail {
+                    if continued {
+                        current = Some(t.trim().to_string());
+                    } else {
+                        out.push(t.trim().to_string());
+                    }
+                }
+            }
+        }
+    }
+    out.iter()
+        .map(|c| c.split_whitespace().map(String::from).collect())
+        .collect()
+}
+
+fn check_doc_commands(rel: &str) {
+    let text = read(rel);
+    let invocations = resq_invocations(&text);
+    assert!(
+        !invocations.is_empty(),
+        "{rel}: expected at least one `resq` invocation in a code fence"
+    );
+    for tokens in invocations {
+        let display = tokens.join(" ");
+        let parsed = Args::parse(tokens.iter().cloned())
+            .unwrap_or_else(|e| panic!("{rel}: `resq {display}` does not parse: {e}"));
+        let command = parsed
+            .command
+            .clone()
+            .unwrap_or_else(|| panic!("{rel}: `resq {display}` has no subcommand"));
+        assert!(
+            USAGE.contains(&format!("\n  {command} ")) || USAGE.contains(&format!("  {command}  ")),
+            "{rel}: subcommand `{command}` not in USAGE (from `resq {display}`)"
+        );
+        for key in parsed.keys() {
+            assert!(
+                USAGE.contains(&format!("--{key}")),
+                "{rel}: flag `--{key}` not in USAGE (from `resq {display}`)"
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_commands_match_the_cli() {
+    check_doc_commands("README.md");
+}
+
+#[test]
+fn operations_commands_match_the_cli() {
+    check_doc_commands("docs/OPERATIONS.md");
+}
+
+#[test]
+fn observability_doc_covers_every_event_type() {
+    let doc = read("docs/OBSERVABILITY.md");
+    for ty in resq::obs::event_type::ALL {
+        assert!(
+            doc.contains(&format!("`{ty}`")),
+            "docs/OBSERVABILITY.md does not document event type `{ty}`"
+        );
+    }
+}
+
+#[test]
+fn observability_doc_covers_every_metric() {
+    let doc = read("docs/OBSERVABILITY.md");
+    for c in resq::obs::metrics::ALL_COUNTERS {
+        assert!(
+            doc.contains(&format!("`{}`", c.name())),
+            "docs/OBSERVABILITY.md does not document counter `{}`",
+            c.name()
+        );
+    }
+    for h in resq::obs::metrics::ALL_HISTOGRAMS {
+        assert!(
+            doc.contains(&format!("`{}`", h.name())),
+            "docs/OBSERVABILITY.md does not document histogram `{}`",
+            h.name()
+        );
+    }
+}
+
+#[test]
+fn usage_flags_are_documented_in_observability_doc() {
+    // The three shared observability switches must appear in both the
+    // USAGE string and the doc that explains them.
+    let doc = read("docs/OBSERVABILITY.md");
+    for flag in ["--log-json", "--metrics", "--progress"] {
+        assert!(USAGE.contains(flag), "USAGE lost {flag}");
+        assert!(doc.contains(flag), "docs/OBSERVABILITY.md lost {flag}");
+    }
+}
