@@ -5,15 +5,16 @@
 //! Run with: `cargo run --release -p resq-bench --bin all_experiments`
 
 use resq_bench::experiments as exp;
+use resq_bench::experiments::canonical;
 
 fn main() {
     let results = vec![
         exp::exp_gain_sweep(),
-        exp::exp_policy_mc(200_000),
-        exp::exp_dynamic_vs_static(100_000),
-        exp::exp_campaign(2_000),
+        exp::exp_policy_mc(canonical::POLICY_MC_TRIALS),
+        exp::exp_dynamic_vs_static(canonical::DYNAMIC_VS_STATIC_TRIALS),
+        exp::exp_campaign(canonical::CAMPAIGN_TRIALS),
         exp::exp_trace_learning(),
-        exp::exp_general_instance(100_000),
+        exp::exp_general_instance(canonical::GENERAL_INSTANCE_TRIALS),
     ];
     let mut failed = 0usize;
     let mut total = 0usize;

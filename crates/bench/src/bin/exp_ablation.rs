@@ -39,6 +39,7 @@ fn main() {
     println!("   analytic reference E(12) = {want:.6}\n");
     write_csv(
         &dir.join("exp_ablation_grid.csv"),
+        "exp_ablation",
         &["grid", "e12", "abs_error", "n_opt"],
         rows,
     )
@@ -56,7 +57,7 @@ fn main() {
         rows.push(vec![r, w]);
     }
     println!("   (R − W_int stays ≈ μ + μ_C + safety margin — the strategy's reserve)\n");
-    write_csv(&dir.join("exp_ablation_threshold.csv"), &["r", "w_int"], rows).unwrap();
+    write_csv(&dir.join("exp_ablation_threshold.csv"), "exp_ablation", &["r", "w_int"], rows).unwrap();
 
     // --- 3. Static-strategy relaxation granularity ----------------------
     println!("== ablation 3: continuous relaxation vs integer scan (Fig-5 parameters)");
@@ -73,5 +74,5 @@ fn main() {
         "   relaxation y_opt = {:.3}; rounding to the better neighbour reproduces n_opt = {}",
         plan.y_opt, plan.n_opt
     );
-    write_csv(&dir.join("exp_ablation_en.csv"), &["n", "e_n"], rows).unwrap();
+    write_csv(&dir.join("exp_ablation_en.csv"), "exp_ablation", &["n", "e_n"], rows).unwrap();
 }

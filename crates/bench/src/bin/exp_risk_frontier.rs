@@ -27,6 +27,7 @@ fn main() {
     let csv = results_dir().join("exp_risk_frontier.csv");
     write_csv(
         &csv,
+        "exp_risk_frontier",
         &["min_success", "uniform_ew", "uniform_lead", "normal_ew", "normal_lead"],
         rows.clone(),
     )

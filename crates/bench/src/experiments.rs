@@ -25,6 +25,21 @@ fn ckpt(mu_c: f64, sigma_c: f64) -> Truncated<Normal> {
     Truncated::above(Normal::new(mu_c, sigma_c).unwrap(), 0.0).unwrap()
 }
 
+/// Canonical Monte-Carlo trial counts for the checked-in `results/`
+/// artifacts. Shared by the dedicated experiment binaries and
+/// `all_experiments` so every producer of an artifact writes the *same*
+/// deterministic CSV — running either never dirties the tree.
+pub mod canonical {
+    /// Trials for [`super::exp_policy_mc`].
+    pub const POLICY_MC_TRIALS: u64 = 400_000;
+    /// Trials for [`super::exp_dynamic_vs_static`].
+    pub const DYNAMIC_VS_STATIC_TRIALS: u64 = 200_000;
+    /// Trials for [`super::exp_campaign`].
+    pub const CAMPAIGN_TRIALS: u64 = 3_000;
+    /// Trials for [`super::exp_general_instance`].
+    pub const GENERAL_INSTANCE_TRIALS: u64 = 150_000;
+}
+
 /// `exp_gain_sweep`: how much the optimal §3 plan gains over the
 /// pessimistic `X = C_max` plan, as a function of the reservation-to-
 /// worst-case ratio `R/b`, for Uniform and truncated-Normal laws.
@@ -49,7 +64,7 @@ pub fn exp_gain_sweep() -> FigureResult {
         ]);
     }
     let csv = results_dir().join("exp_gain_sweep.csv");
-    write_csv(&csv, &["r_over_b", "gain_uniform", "gain_trunc_normal"], rows.clone()).unwrap();
+    write_csv(&csv, "exp_gain_sweep", &["r_over_b", "gain_uniform", "gain_trunc_normal"], rows.clone()).unwrap();
 
     // Anchors: no gain in the saturated regime; substantial gain when R
     // is tight (the paper's 25% case is Fig 1(a): R/b = 10/7.5 = 1.33).
@@ -126,6 +141,7 @@ pub fn exp_policy_mc(trials: u64) -> FigureResult {
     let csv = results_dir().join("exp_policy_mc.csv");
     write_csv(
         &csv,
+        "exp_policy_mc",
         &["policy_id", "mean_saved", "std_error"],
         vec![
             vec![0.0, s_pess.mean, s_pess.std_error],
@@ -214,7 +230,7 @@ pub fn exp_dynamic_vs_static(trials: u64) -> FigureResult {
         rows.push(vec![sigma, s_static.mean, s_dynamic.mean, gain]);
     }
     let csv = results_dir().join("exp_dynamic_vs_static.csv");
-    write_csv(&csv, &["sigma", "static_mean", "dynamic_mean", "gain"], rows).unwrap();
+    write_csv(&csv, "exp_dynamic_vs_static", &["sigma", "static_mean", "dynamic_mean", "gain"], rows).unwrap();
 
     FigureResult {
         id: "exp_dynamic_vs_static".into(),
@@ -295,6 +311,7 @@ pub fn exp_campaign(trials: u64) -> FigureResult {
     let csv = results_dir().join("exp_campaign.csv");
     write_csv(
         &csv,
+        "exp_campaign",
         &["policy", "billing", "rule", "reservations", "cost"],
         rows,
     )
@@ -354,7 +371,7 @@ pub fn exp_trace_learning() -> FigureResult {
         rows.push(vec![n as f64, plan.lead_time, regret]);
     }
     let csv = results_dir().join("exp_trace_learning.csv");
-    write_csv(&csv, &["trace_len", "lead_time", "relative_regret"], rows).unwrap();
+    write_csv(&csv, "exp_trace_learning", &["trace_len", "lead_time", "relative_regret"], rows).unwrap();
 
     FigureResult {
         id: "exp_trace_learning".into(),
@@ -451,6 +468,7 @@ pub fn exp_general_instance(trials: u64) -> FigureResult {
     let csv = results_dir().join("exp_general_instance.csv");
     write_csv(
         &csv,
+        "exp_general_instance",
         &["rule_id", "mean_saved", "std_error"],
         vec![
             vec![0.0, s_naive.mean, s_naive.std_error],

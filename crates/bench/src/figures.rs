@@ -41,7 +41,7 @@ pub fn fig01() -> FigureResult {
     let m_a = Preemptible::new(Uniform::new(1.0, 7.5).unwrap(), 10.0).unwrap();
     let plan_a = m_a.optimize();
     let csv_a = dir.join("fig01a_uniform.csv");
-    write_csv(&csv_a, &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
+    write_csv(&csv_a, "fig01", &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
     anchors.push(Anchor::new("(a) X_opt = (R+a)/2", 5.5, plan_a.lead_time, 1e-4));
     anchors.push(Anchor::new("(a) E[W(X_opt)]", 3.1, plan_a.expected_work, 0.05));
     anchors.push(Anchor::new(
@@ -66,7 +66,7 @@ pub fn fig01() -> FigureResult {
     // (b) a=1, b=5, R=10.
     let m_b = Preemptible::new(Uniform::new(1.0, 5.0).unwrap(), 10.0).unwrap();
     let csv_b = dir.join("fig01b_uniform.csv");
-    write_csv(&csv_b, &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
+    write_csv(&csv_b, "fig01", &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
     anchors.push(Anchor::new("(b) X_opt = b", 5.0, m_b.optimize().lead_time, 1e-4));
 
     FigureResult {
@@ -90,7 +90,7 @@ pub fn fig02() -> FigureResult {
     let m_a = Preemptible::new(law_a, 10.0).unwrap();
     let plan_a = m_a.optimize();
     let csv_a = dir.join("fig02a_exponential.csv");
-    write_csv(&csv_a, &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
+    write_csv(&csv_a, "fig02", &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
     let closed_a = closed_form::exponential_x_opt(0.5, 1.0, 5.0, 10.0).unwrap();
     // Paper prints "X_opt ≈ 3.9" (read off the plot); exact formula: 3.82.
     anchors.push(Anchor::new("(a) X_opt (plot read)", 3.9, plan_a.lead_time, 0.15));
@@ -105,7 +105,7 @@ pub fn fig02() -> FigureResult {
     let law_b = Truncated::new(Exponential::new(0.5).unwrap(), 1.0, 3.0).unwrap();
     let m_b = Preemptible::new(law_b, 10.0).unwrap();
     let csv_b = dir.join("fig02b_exponential.csv");
-    write_csv(&csv_b, &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
+    write_csv(&csv_b, "fig02", &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
     anchors.push(Anchor::new("(b) X_opt = b", 3.0, m_b.optimize().lead_time, 1e-4));
     anchors.push(Anchor::new(
         "(b) closed form saturates",
@@ -134,7 +134,7 @@ pub fn fig03() -> FigureResult {
     let m_a = Preemptible::new(law_a, 10.0).unwrap();
     let plan_a = m_a.optimize();
     let csv_a = dir.join("fig03a_normal.csv");
-    write_csv(&csv_a, &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
+    write_csv(&csv_a, "fig03", &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
     let root = closed_form::normal_x_opt(3.5, 1.0, 1.0, 7.5, 10.0).unwrap();
     anchors.push(Anchor::new(
         "(a) optimizer = g' root",
@@ -154,7 +154,7 @@ pub fn fig03() -> FigureResult {
     let law_b = Truncated::new(Normal::new(3.5, 1.0).unwrap(), 1.0, 4.7).unwrap();
     let m_b = Preemptible::new(law_b, 10.0).unwrap();
     let csv_b = dir.join("fig03b_normal.csv");
-    write_csv(&csv_b, &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
+    write_csv(&csv_b, "fig03", &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
     anchors.push(Anchor::new("(b) X_opt = b", 4.7, m_b.optimize().lead_time, 1e-3));
 
     FigureResult {
@@ -182,7 +182,7 @@ pub fn fig04() -> FigureResult {
     let m_a = Preemptible::new(law_a, 10.0).unwrap();
     let plan_a = m_a.optimize();
     let csv_a = dir.join("fig04a_lognormal.csv");
-    write_csv(&csv_a, &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
+    write_csv(&csv_a, "fig04", &["x", "expected_work"], expected_work_series(&m_a, 400)).unwrap();
     let root = closed_form::lognormal_x_opt(1.0, 0.35, 1.0, 9.0, 10.0).unwrap();
     anchors.push(Anchor::new(
         "(a) optimizer = derivative root",
@@ -201,7 +201,7 @@ pub fn fig04() -> FigureResult {
     let law_b = Truncated::new(LogNormal::new(1.0, 0.35).unwrap(), 1.0, 3.0).unwrap();
     let m_b = Preemptible::new(law_b, 10.0).unwrap();
     let csv_b = dir.join("fig04b_lognormal.csv");
-    write_csv(&csv_b, &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
+    write_csv(&csv_b, "fig04", &["x", "expected_work"], expected_work_series(&m_b, 400)).unwrap();
     anchors.push(Anchor::new("(b) X_opt = b", 3.0, m_b.optimize().lead_time, 1e-3));
 
     FigureResult {
@@ -224,7 +224,7 @@ pub fn fig05() -> FigureResult {
         .into_iter()
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
-    write_csv(&csv, &["y", "f"], rows).unwrap();
+    write_csv(&csv, "fig05", &["y", "f"], rows).unwrap();
     let plan = s.optimize();
     FigureResult {
         id: "fig05".into(),
@@ -251,7 +251,7 @@ pub fn fig06() -> FigureResult {
         .into_iter()
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
-    write_csv(&csv, &["y", "g"], rows).unwrap();
+    write_csv(&csv, "fig06", &["y", "g"], rows).unwrap();
     let plan = s.optimize();
     FigureResult {
         id: "fig06".into(),
@@ -278,7 +278,7 @@ pub fn fig07() -> FigureResult {
         .into_iter()
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
-    write_csv(&csv, &["y", "h"], rows).unwrap();
+    write_csv(&csv, "fig07", &["y", "h"], rows).unwrap();
     let plan = s.optimize();
     FigureResult {
         id: "fig07".into(),
@@ -313,7 +313,7 @@ fn dynamic_figure<X: resq::core::workflow::task_law::TaskDuration>(
         .into_iter()
         .map(|w| vec![w, d.expect_checkpoint_now(w), d.expect_one_more(w)])
         .collect();
-    write_csv(&csv, &["w", "E_WC", "E_Wplus1"], rows).unwrap();
+    write_csv(&csv, id, &["w", "E_WC", "E_Wplus1"], rows).unwrap();
     let w_int = d.threshold().expect("threshold exists for paper parameters");
     FigureResult {
         id: id.into(),

@@ -70,12 +70,32 @@ impl FigureResult {
     }
 }
 
-/// Directory for CSV outputs (`results/` at the workspace root, or the
-/// current directory as a fallback). Created on demand.
+/// Directory for CSV outputs. Resolution order:
+///
+/// 1. `RESQ_RESULTS_DIR`, when set — lets a caller regenerate artifacts
+///    into a scratch location without touching the checked-in `results/`;
+/// 2. `results/` at the workspace root (the checked-in artifacts) for
+///    binaries, or a per-process temp scratch dir under `cargo test`, so
+///    the unit tests can never clobber committed CSVs and manifests.
+///
+/// Created on demand.
 pub fn results_dir() -> PathBuf {
-    let base = workspace_root().join("results");
+    let base = match std::env::var_os("RESQ_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => default_results_dir(),
+    };
     std::fs::create_dir_all(&base).ok();
     base
+}
+
+#[cfg(not(test))]
+fn default_results_dir() -> PathBuf {
+    workspace_root().join("results")
+}
+
+#[cfg(test)]
+fn default_results_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("resq-bench-test-results-{}", std::process::id()))
 }
 
 fn workspace_root() -> PathBuf {
@@ -88,8 +108,16 @@ fn workspace_root() -> PathBuf {
 /// Writes a CSV file with a header row, plus a provenance manifest
 /// sidecar (`fig5.csv` → `fig5.manifest.json`) recording which tool
 /// produced the artifact, its shape, and the git revision.
+///
+/// `tool` is the stable producer id recorded in the manifest as
+/// `bench/<tool>` — the figure or experiment id (e.g. `"exp_policy_mc"`),
+/// NOT the running binary's name: the same artifact must get the same
+/// manifest whether it is produced by its dedicated binary or by an
+/// aggregator like `all_figures`, and `argv[0]` is hashed and unstable
+/// under the cargo test harness.
 pub fn write_csv(
     path: &Path,
+    tool: &str,
     header: &[&str],
     rows: impl IntoIterator<Item = Vec<f64>>,
 ) -> std::io::Result<()> {
@@ -102,14 +130,6 @@ pub fn write_csv(
         n_rows += 1;
     }
     f.flush()?;
-    let tool = std::env::args()
-        .next()
-        .and_then(|argv0| {
-            Path::new(&argv0)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-        })
-        .unwrap_or_else(|| "bench".into());
     resq_obs::RunManifest::new(format!("bench/{tool}"))
         .config("columns", header.join(","))
         .config("rows", n_rows)
@@ -151,11 +171,19 @@ mod tests {
     }
 
     #[test]
+    fn unit_tests_write_to_scratch_not_checked_in_results() {
+        // Guards the checked-in `results/` artifacts: under `cargo test`
+        // the default output dir must be a temp scratch location.
+        assert!(default_results_dir().starts_with(std::env::temp_dir()));
+    }
+
+    #[test]
     fn csv_writer_round_trip() {
         let dir = std::env::temp_dir().join("resq-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
-        write_csv(&path, &["x", "y"], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        write_csv(&path, "round_trip", &["x", "y"], vec![vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("x,y\n"));
         assert_eq!(text.lines().count(), 3);
@@ -163,10 +191,10 @@ mod tests {
         let sidecar = dir.join("t.manifest.json");
         let manifest = std::fs::read_to_string(&sidecar).unwrap();
         let parsed = resq_obs::json::parse(&manifest).unwrap();
-        assert!(parsed
-            .get("tool")
-            .and_then(|t| t.as_str().map(|s| s.starts_with("bench/")))
-            .unwrap_or(false));
+        assert_eq!(
+            parsed.get("tool").and_then(|t| t.as_str()),
+            Some("bench/round_trip")
+        );
         let config = parsed.get("config").unwrap();
         assert_eq!(config.get("rows").and_then(|r| r.as_str()), Some("2"));
 
