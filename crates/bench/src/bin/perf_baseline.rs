@@ -1,0 +1,301 @@
+//! `perf_baseline` — the perf-trajectory harness: times the workspace's
+//! hot paths and writes `BENCH_perf.json` at the repo root so the
+//! number-crunching cost of each PR is visible in review diffs.
+//!
+//! Hot paths covered:
+//!
+//! * adaptive Simpson quadrature of a smooth Gaussian-type integrand;
+//! * Brent root solves and Lambert-W evaluations (the §3/§4.3 kernels);
+//! * the preemptible and static optimizers (`solve/*` spans end-to-end);
+//! * `run_trials_observed` throughput at 1, 2 and N worker threads.
+//!
+//! Each hot path is timed through the [`resq_obs::span`] machinery
+//! itself (a scoped [`SpanRegistry`] per entry), so the harness also
+//! exercises the exact instrumentation the library runs with — the
+//! reported `nanos_per_iter` *includes* span overhead by construction.
+//!
+//! ```text
+//! perf_baseline                 full mode: write BENCH_perf.json at the repo root
+//! perf_baseline --smoke         tiny iteration counts (CI): write + self-check
+//! perf_baseline --out <path>    redirect the report
+//! perf_baseline --check <path>  validate an existing report against the schema
+//! ```
+//!
+//! Timings are wall-clock facts: like manifests, `BENCH_perf.json` is
+//! provenance and is *expected* to differ between machines and runs.
+//! Only its schema is checked in CI.
+
+use resq::core::policy::ThresholdWorkflowPolicy;
+use resq::dist::{Normal, Truncated, Uniform};
+use resq::sim::{run_trials_observed, MonteCarloConfig, WorkflowSim};
+use resq::{Preemptible, StaticStrategy};
+use resq_dist::Poisson;
+use resq_numerics::{adaptive_simpson, brent_root};
+use resq_obs::span::{self, SpanRegistry};
+use resq_obs::{json, NullSink};
+use resq_specfun::{lambert_w0, lambert_wm1};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Schema identifier written into (and required of) every report.
+const SCHEMA: &str = "resq-perf-baseline/v1";
+
+/// One timed hot path.
+struct Entry {
+    name: String,
+    iters: u64,
+    total_nanos: u64,
+    nanos_per_iter: f64,
+    p50_nanos: f64,
+    p90_nanos: f64,
+    p99_nanos: f64,
+}
+
+/// Times `iters` repetitions of `work` through a fresh scoped span
+/// registry and reads the result back out of the span histogram.
+fn time_entry(name: &str, iters: u64, mut work: impl FnMut()) -> Entry {
+    let registry = SpanRegistry::new();
+    {
+        let _scope = span::scoped(registry.clone());
+        for _ in 0..iters {
+            let _span = span::enter(name);
+            work();
+        }
+    }
+    let stats = registry
+        .snapshot()
+        .into_iter()
+        .find(|s| s.path == name)
+        .expect("the timed span must be in its own registry");
+    Entry {
+        name: name.to_string(),
+        iters: stats.count,
+        total_nanos: stats.total_nanos,
+        nanos_per_iter: stats.mean_nanos(),
+        p50_nanos: stats.quantile_nanos(0.50),
+        p90_nanos: stats.quantile_nanos(0.90),
+        p99_nanos: stats.quantile_nanos(0.99),
+    }
+}
+
+/// Scales a full-mode iteration count down for `--smoke`.
+fn scaled(full: u64, smoke: bool) -> u64 {
+    if smoke {
+        (full / 20).max(2)
+    } else {
+        full
+    }
+}
+
+fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool) -> Entry {
+    let trials = scaled(trials, smoke).max(100);
+    let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+    let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+    let sim = WorkflowSim {
+        reservation: 29.0,
+        task,
+        ckpt,
+    };
+    let policy = ThresholdWorkflowPolicy { threshold: 20.3 };
+    let cfg = MonteCarloConfig {
+        trials,
+        seed: 42,
+        threads,
+    };
+    time_entry(name, scaled(6, smoke), || {
+        let s = run_trials_observed(cfg, &NullSink, 0, |_, rng| {
+            sim.run_once(&policy, rng).work_saved
+        });
+        black_box(s.mean);
+    })
+}
+
+fn collect(smoke: bool) -> Vec<Entry> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+
+    entries.push(time_entry("quad/adaptive_simpson", scaled(400, smoke), || {
+        let r = adaptive_simpson(|x| (-0.5 * x * x).exp() * (1.0 + x).ln_1p(), 0.0, 8.0, 1e-10);
+        black_box(r.value);
+    }));
+
+    entries.push(time_entry("roots/brent_root", scaled(2000, smoke), || {
+        let r = brent_root(|x| x.exp() - 3.0 * x, 0.0, 1.0, 1e-12);
+        black_box(r.unwrap());
+    }));
+
+    entries.push(time_entry("specfun/lambert_w", scaled(20_000, smoke), || {
+        black_box(lambert_w0(black_box(1.5)));
+        black_box(lambert_wm1(black_box(-0.2)));
+    }));
+
+    entries.push(time_entry("solve/preemptible", scaled(40, smoke), || {
+        let law = Uniform::new(1.0, 7.5).unwrap();
+        let model = Preemptible::new(law, 10.0).unwrap();
+        black_box(model.optimize().expected_work);
+    }));
+
+    entries.push(time_entry("solve/static", scaled(40, smoke), || {
+        let task = Poisson::new(3.0).unwrap();
+        let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let plan = StaticStrategy::new(task, ckpt, 29.0).unwrap().optimize();
+        black_box(plan.n_opt);
+    }));
+
+    entries.push(mc_entry("mc/threads_1", 1, 40_000, smoke));
+    entries.push(mc_entry("mc/threads_2", 2, 40_000, smoke));
+    entries.push(mc_entry(
+        "mc/threads_max",
+        n_threads.max(2),
+        40_000,
+        smoke,
+    ));
+
+    entries
+}
+
+/// Renders the report: schema tag, per-hot-path entries, and a
+/// manifest-style provenance block (all the wall-clock facts live here
+/// and in the entries — nothing in the library's event logs).
+fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let mut row = String::from("    {");
+        row.push_str("\"name\": ");
+        json::write_escaped(&mut row, &e.name);
+        row.push_str(&format!(
+            ", \"iters\": {}, \"total_nanos\": {}, \"nanos_per_iter\": {:.1}, \
+             \"p50_nanos\": {:.1}, \"p90_nanos\": {:.1}, \"p99_nanos\": {:.1}}}",
+            e.iters, e.total_nanos, e.nanos_per_iter, e.p50_nanos, e.p90_nanos, e.p99_nanos
+        ));
+        if i + 1 < entries.len() {
+            row.push(',');
+        }
+        row.push('\n');
+        out.push_str(&row);
+    }
+    out.push_str("  ],\n");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let git_rev = match resq_obs::git_rev() {
+        Some(rev) => format!("\"{rev}\""),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!(
+        "  \"provenance\": {{\"tool\": \"resq-bench perf_baseline\", \"mode\": \"{mode}\", \
+         \"threads\": {threads}, \"crate_version\": \"{}\", \"git_rev\": {git_rev}, \
+         \"wall_time_secs\": {wall_time_secs:.3}}}\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a report against the schema: the CI smoke gate.
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    let schema = root
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing `schema` tag")?;
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}`, expected `{SCHEMA}`"));
+    }
+    let Some(json::JsonValue::Array(entries)) = root.get("entries") else {
+        return Err("`entries` must be an array".to_string());
+    };
+    if entries.is_empty() {
+        return Err("`entries` is empty".to_string());
+    }
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("entry missing `name`")?;
+        for key in [
+            "iters",
+            "total_nanos",
+            "nanos_per_iter",
+            "p50_nanos",
+            "p90_nanos",
+            "p99_nanos",
+        ] {
+            let v = e
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("entry `{name}` missing numeric `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("entry `{name}` has non-finite `{key}`"));
+            }
+        }
+        if e.get("iters").and_then(|v| v.as_u64()) == Some(0) {
+            return Err(format!("entry `{name}` ran zero iterations"));
+        }
+    }
+    let prov = root
+        .get("provenance")
+        .ok_or("missing `provenance` block")?;
+    for key in ["tool", "mode", "crate_version"] {
+        prov.get(key)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("provenance missing `{key}`"))?;
+    }
+    prov.get("threads")
+        .and_then(|v| v.as_u64())
+        .ok_or("provenance missing `threads`")?;
+    if prov.get("git_rev").is_none() {
+        return Err("provenance missing `git_rev`".to_string());
+    }
+    println!("{path}: ok ({} entries)", entries.len());
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().cloned(),
+            "--check" => check_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: perf_baseline [--smoke] [--out <path>] [--check <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = check_path {
+        if let Err(e) = check(&path) {
+            eprintln!("perf report check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let start = Instant::now();
+    let entries = collect(smoke);
+    let mode = if smoke { "smoke" } else { "full" };
+    let report = render(&entries, mode, start.elapsed().as_secs_f64());
+    let path = out_path.unwrap_or_else(|| "BENCH_perf.json".to_string());
+    std::fs::write(&path, &report).unwrap_or_else(|e| {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    });
+    for e in &entries {
+        println!(
+            "{:<24} {:>8} iters  {:>14.1} ns/iter  (p50 {:.0}, p99 {:.0})",
+            e.name, e.iters, e.nanos_per_iter, e.p50_nanos, e.p99_nanos
+        );
+    }
+    println!("report written    : {path}");
+}

@@ -34,6 +34,7 @@ fn expected_work_series<C: Continuous>(
 /// Figure 1: `E[W(X)]` under a Uniform checkpoint law — (a) interior
 /// optimum at `(R+a)/2`, (b) saturated optimum at `b`.
 pub fn fig01() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let dir = results_dir();
     let mut anchors = Vec::new();
 
@@ -82,6 +83,7 @@ pub fn fig01() -> FigureResult {
 /// Figure 2: truncated Exponential checkpoint law; the optimum is the
 /// paper's Lambert-W closed form.
 pub fn fig02() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let dir = results_dir();
     let mut anchors = Vec::new();
 
@@ -126,6 +128,7 @@ pub fn fig02() -> FigureResult {
 
 /// Figure 3: truncated Normal checkpoint law, `N(3.5, 1)` on `[1, b]`.
 pub fn fig03() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let dir = results_dir();
     let mut anchors = Vec::new();
 
@@ -173,6 +176,7 @@ pub fn fig03() -> FigureResult {
 /// interpret μ,σ as the law parameters with μ*∈\[a,b\] enforced via
 /// `LogNormal::from_mean_sd`-style values; we regenerate both regimes.
 pub fn fig04() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let dir = results_dir();
     let mut anchors = Vec::new();
 
@@ -217,6 +221,7 @@ pub fn fig04() -> FigureResult {
 /// Figure 5: static strategy with Normal tasks — the relaxation `f(y)`,
 /// `μ=3, σ=0.5, μ_C=5, σ_C=0.4, R=30`.
 pub fn fig05() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt(5.0, 0.4), 30.0).unwrap();
     let dir = results_dir();
     let csv = dir.join("fig05_static_normal.csv");
@@ -244,6 +249,7 @@ pub fn fig05() -> FigureResult {
 /// Figure 6: static strategy with Gamma tasks — `g(y)`,
 /// `k=1, θ=0.5, μ_C=2, σ_C=0.4, R=10`.
 pub fn fig06() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let s = StaticStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
     let dir = results_dir();
     let csv = dir.join("fig06_static_gamma.csv");
@@ -271,6 +277,7 @@ pub fn fig06() -> FigureResult {
 /// Figure 7: static strategy with Poisson tasks — `h(y)`,
 /// `λ=3, μ_C=5, σ_C=0.4, R=29`.
 pub fn fig07() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
     let dir = results_dir();
     let csv = dir.join("fig07_static_poisson.csv");
@@ -326,6 +333,7 @@ fn dynamic_figure<X: resq::core::workflow::task_law::TaskDuration>(
 /// Figure 8: dynamic strategy, truncated-Normal tasks
 /// (`μ=3, σ=0.5, μ_C=5, σ_C=0.4, R=29`): `W_int ≈ 20.3`.
 pub fn fig08() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
     dynamic_figure(
         "fig08",
@@ -343,6 +351,7 @@ pub fn fig08() -> FigureResult {
 /// Figure 9: dynamic strategy, Gamma tasks
 /// (`k=1, θ=0.5, μ_C=2, σ_C=0.4, R=10`): `W_int ≈ 6.4`.
 pub fn fig09() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     dynamic_figure(
         "fig09",
         "dynamic strategy, Gamma tasks: E[W_C] vs E[W_+1], R=10",
@@ -359,6 +368,7 @@ pub fn fig09() -> FigureResult {
 /// Figure 10: dynamic strategy, Poisson tasks
 /// (`λ=3, μ_C=5, σ_C=0.4, R=29`): `W_int ≈ 18.9`.
 pub fn fig10() -> FigureResult {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BENCH_FIGURE);
     dynamic_figure(
         "fig10",
         "dynamic strategy, Poisson tasks: E[W_C] vs E[W_+1], R=29",

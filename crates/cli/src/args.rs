@@ -3,11 +3,16 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand, leading positional operands, and
+/// `--key value` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// First positional token (the subcommand).
     pub command: Option<String>,
+    /// Positional operands after the subcommand and before the first
+    /// flag (`resq obs summarize run.jsonl` → `["summarize",
+    /// "run.jsonl"]`). Positionals *after* a flag remain an error.
+    pub positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -29,14 +34,22 @@ impl Args {
     pub const BOOL_FLAGS: &'static [&'static str] = &["metrics", "progress"];
 
     /// Parses `tokens` (without the program name): one optional
-    /// subcommand followed by `--key value` pairs (`--key=value` also
-    /// accepted). Flags listed in [`Args::BOOL_FLAGS`] take no value.
+    /// subcommand, then any positional operands, then `--key value`
+    /// pairs (`--key=value` also accepted). Flags listed in
+    /// [`Args::BOOL_FLAGS`] take no value. A positional after the first
+    /// flag is an error (it is most likely a forgotten `--`-prefix).
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = tokens.into_iter().peekable();
         if let Some(first) = it.peek() {
             if !first.starts_with("--") {
                 out.command = it.next();
+                while let Some(tok) = it.peek() {
+                    if tok.starts_with("--") {
+                        break;
+                    }
+                    out.positionals.push(it.next().expect("peeked"));
+                }
             }
         }
         while let Some(tok) = it.next() {
@@ -130,6 +143,16 @@ mod tests {
     #[test]
     fn positional_after_flags_is_error() {
         assert!(parse(&["plan", "--x", "1", "oops"]).is_err());
+    }
+
+    #[test]
+    fn positionals_before_flags_are_collected() {
+        let a = parse(&["obs", "summarize", "run.jsonl", "--metrics"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("obs"));
+        assert_eq!(a.positionals, vec!["summarize", "run.jsonl"]);
+        assert!(a.bool_flag("metrics"));
+        let b = parse(&["plan", "--x", "1"]).unwrap();
+        assert!(b.positionals.is_empty());
     }
 
     #[test]

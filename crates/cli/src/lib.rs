@@ -8,6 +8,15 @@
 pub mod args;
 pub mod spec;
 
+/// Actions of the `resq obs` subcommand family, in the order they are
+/// documented. `tests/docs_sync.rs` checks the observability guide
+/// covers each one.
+pub const OBS_ACTIONS: &'static [&'static str] = &["summarize", "diff"];
+
+/// Accepted values of `--metrics-format`, first entry is the default
+/// (also what bare `--metrics` selects).
+pub const METRICS_FORMATS: &'static [&'static str] = &["summary", "prometheus", "json"];
+
 /// The `resq` usage text — the single source of truth for subcommands
 /// and flags. `tests/docs_sync.rs` checks every `resq` invocation in the
 /// README and operations guide against this string.
@@ -36,11 +45,21 @@ COMMANDS:
   learn             learn the checkpoint law from a JSONL trace (paper: \"learned
                     from traces of previous checkpoints\") and plan
       --trace <file.jsonl>  --reservation <R>
+  obs               inspect artifacts produced by the observability layer
+      obs summarize <events.jsonl>            fold an event log into per-type
+                                              counts and the run's headline facts
+      obs diff <a.manifest.json> <b.manifest.json>
+                                              report config/provenance drift
+                                              between two manifests
 
 OBSERVABILITY (every command):
   --log-json <path>   write structured JSONL run events to <path> and a
                       provenance manifest sidecar next to it
-  --metrics           print global metric counters to stderr after the run
+  --metrics           print metric counters, histograms and span timings to
+                      stderr after the run (same as --metrics-format summary)
+  --metrics-format <summary|prometheus|json>
+                      choose the exposition: human summary, Prometheus text
+                      format, or a single JSON object
   --progress          print live progress to stderr (simulate only)
 
 LAW SYNTAX:

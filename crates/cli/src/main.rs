@@ -19,7 +19,7 @@ use resq::sim::{run_trials, run_trials_observed, MonteCarloConfig, WorkflowSim};
 use resq::{ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
 use resq_cli::args::{ArgError, Args};
 use resq_cli::spec::{parse_law, DynLaw, LawSpec};
-use resq_cli::USAGE;
+use resq_cli::{METRICS_FORMATS, OBS_ACTIONS, USAGE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -37,22 +37,88 @@ fn main() {
 
 fn run(tokens: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(tokens)?;
+    // Validate the exposition choice up front so a typo fails before an
+    // expensive run, not after it.
+    let metrics_format = match args.get("metrics-format") {
+        Some(fmt) if METRICS_FORMATS.contains(&fmt) => Some(fmt.to_string()),
+        Some(other) => {
+            return Err(ArgError(format!(
+                "flag `--metrics-format` expects one of {}, got `{other}`",
+                METRICS_FORMATS.join("|")
+            )))
+        }
+        None if args.bool_flag("metrics") => Some("summary".to_string()),
+        None => None,
+    };
+    if !args.positionals.is_empty() && args.command.as_deref() != Some("obs") {
+        return Err(ArgError(format!(
+            "unexpected positional argument `{}`",
+            args.positionals[0]
+        )));
+    }
     let result = match args.command.as_deref() {
         Some("plan-preemptible") => plan_preemptible(&args),
         Some("plan-static") => plan_static(&args),
         Some("plan-dynamic") => plan_dynamic(&args),
         Some("simulate") => simulate(&args),
         Some("learn") => learn(&args),
+        Some("obs") => obs_command(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(ArgError(format!("unknown command `{other}`"))),
     };
-    if result.is_ok() && args.bool_flag("metrics") {
-        eprint!("{}", resq::obs::metrics::format_summary());
+    if result.is_ok() {
+        match metrics_format.as_deref() {
+            Some("prometheus") => eprint!("{}", resq::obs::metrics::format_prometheus()),
+            Some("json") => eprintln!("{}", resq::obs::metrics::format_json()),
+            Some(_) => eprint!("{}", resq::obs::metrics::format_summary()),
+            None => {}
+        }
     }
     result
+}
+
+/// The `resq obs` subcommand family: post-hoc inspection of artifacts
+/// written by `--log-json` (see [`OBS_ACTIONS`]).
+fn obs_command(args: &Args) -> Result<(), ArgError> {
+    let usage = || {
+        ArgError(format!(
+            "usage: resq obs <{}> <file>...",
+            OBS_ACTIONS.join("|")
+        ))
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read `{path}`: {e}")))
+    };
+    match args.positionals.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args.positionals.get(1).ok_or_else(usage)?;
+            let text = read(path)?;
+            let summary = resq::obs::LogSummary::from_lines(text.lines());
+            print!("{}", summary.format());
+            Ok(())
+        }
+        Some("diff") => {
+            let (pa, pb) = match (args.positionals.get(1), args.positionals.get(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(usage()),
+            };
+            let parse = |path: &str| {
+                read(path).and_then(|text| {
+                    resq::obs::json::parse(&text)
+                        .map_err(|e| ArgError(format!("`{path}` is not valid JSON: {e}")))
+                })
+            };
+            let (a, b) = (parse(pa)?, parse(pb)?);
+            let diff = resq::obs::summarize::manifest_diff(&a, &b);
+            print!("{}", resq::obs::summarize::format_diff(&diff));
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
 }
 
 /// Per-command observability bundle: the event sink (JSONL when
@@ -644,5 +710,129 @@ mod tests {
     fn learn_missing_file_is_clean_error() {
         let e = run_tokens(&["learn", "--trace", "/nonexistent.jsonl", "--reservation", "30"]);
         assert!(e.is_err());
+    }
+
+    #[test]
+    fn metrics_format_is_validated_before_the_run() {
+        // Invalid format fails fast, even though the run itself would work.
+        assert!(run_tokens(&[
+            "plan-preemptible",
+            "--ckpt",
+            "uniform:1,7.5",
+            "--reservation",
+            "10",
+            "--metrics-format",
+            "xml"
+        ])
+        .is_err());
+        for fmt in METRICS_FORMATS {
+            assert!(run_tokens(&[
+                "plan-preemptible",
+                "--ckpt",
+                "uniform:1,7.5",
+                "--reservation",
+                "10",
+                "--metrics-format",
+                fmt
+            ])
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn positionals_are_rejected_outside_obs() {
+        assert!(run_tokens(&["plan-preemptible", "stray", "--ckpt", "uniform:1,7.5"]).is_err());
+    }
+
+    #[test]
+    fn obs_requires_a_known_action_and_operands() {
+        assert!(run_tokens(&["obs"]).is_err());
+        assert!(run_tokens(&["obs", "frobnicate"]).is_err());
+        assert!(run_tokens(&["obs", "summarize"]).is_err());
+        assert!(run_tokens(&["obs", "summarize", "/nonexistent.jsonl"]).is_err());
+        assert!(run_tokens(&["obs", "diff", "/only-one.json"]).is_err());
+    }
+
+    #[test]
+    fn obs_summarize_round_trips_a_simulate_log() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-summarize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("run.jsonl");
+        run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "9000",
+            "--seed",
+            "5",
+            "--sample-every",
+            "2000",
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        let summary = resq::obs::LogSummary::from_lines(text.lines());
+        // The summary reproduces the run's trial count and per-phase
+        // event counts exactly.
+        assert_eq!(summary.trials, Some(9000));
+        assert_eq!(summary.seed, Some(5));
+        assert_eq!(summary.command.as_deref(), Some("simulate"));
+        assert_eq!(summary.malformed, 0);
+        assert_eq!(summary.count("run-started"), 1);
+        assert_eq!(summary.count("run-finished"), 1);
+        assert_eq!(summary.count("chunk-progress"), 3); // ceil(9000/4096)
+        assert_eq!(summary.count("trial-sample"), 5); // trials 0,2000,...,8000
+        assert_eq!(summary.count("checkpoint-decision"), 5);
+        // And the subcommand itself accepts the artifact.
+        assert!(run_tokens(&["obs", "summarize", log.to_str().unwrap()]).is_ok());
+        std::fs::remove_file(&log).ok();
+        std::fs::remove_file(dir.join("run.manifest.json")).ok();
+    }
+
+    #[test]
+    fn obs_diff_compares_two_manifests() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |seed: &str, name: &str| {
+            let log = dir.join(name);
+            run_tokens(&[
+                "simulate",
+                "--task",
+                "normal:3,0.5@0,",
+                "--ckpt",
+                "normal:5,0.4@0,",
+                "--reservation",
+                "29",
+                "--threshold",
+                "20.3",
+                "--trials",
+                "2000",
+                "--seed",
+                seed,
+                "--log-json",
+                log.to_str().unwrap(),
+            ])
+            .unwrap();
+            dir.join(name.replace(".jsonl", ".manifest.json"))
+        };
+        let a = run("1", "a.jsonl");
+        let b = run("2", "b.jsonl");
+        assert!(run_tokens(&["obs", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).is_ok());
+        let pa = resq::obs::json::parse(&std::fs::read_to_string(&a).unwrap()).unwrap();
+        let pb = resq::obs::json::parse(&std::fs::read_to_string(&b).unwrap()).unwrap();
+        let diff = resq::obs::summarize::manifest_diff(&pa, &pb);
+        let keys: Vec<&str> = diff.iter().map(|e| e.key.as_str()).collect();
+        assert!(keys.contains(&"seed"), "seed drift detected: {keys:?}");
+        for name in ["a.jsonl", "b.jsonl", "a.manifest.json", "b.manifest.json"] {
+            std::fs::remove_file(dir.join(name)).ok();
+        }
     }
 }

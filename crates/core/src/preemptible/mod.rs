@@ -148,6 +148,7 @@ impl<C: Continuous> Preemptible<C> {
     /// unimodality is assumed. Since `E[W]` strictly decreases beyond
     /// `b`, the search interval is `[a, b]`.
     pub fn optimize(&self) -> CheckpointPlan {
+        let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_PREEMPTIBLE);
         let e = grid_max(
             |x| self.expected_work(x),
             self.a,

@@ -176,6 +176,7 @@ impl<C: Continuous> ConvolutionStatic<C> {
 
     /// Full static plan: scans `n` up to `2·R/E[X] + 10`.
     pub fn optimize(&self) -> StaticPlan {
+        let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_STATIC);
         let n_max = ((2.0 * self.r / self.task_mean) as u64 + 10).max(2);
         let values = self.expected_work_upto(n_max);
         let (mut best_n, mut best_v) = (1u64, f64::NEG_INFINITY);

@@ -112,6 +112,7 @@ impl<X: TaskDuration, C: Continuous> DynamicStrategy<X, C> {
     /// when `R` is too short for even one checkpoint to plausibly fit —
     /// then everything is lost regardless).
     pub fn threshold(&self) -> Option<f64> {
+        let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_DYNAMIC);
         let diff = |w: f64| self.expect_checkpoint_now(w) - self.expect_one_more(w);
         // Scan for the first sign change from ≤0 to >0 (the curves are
         // smooth, so a coarse scan plus Brent refinement suffices).

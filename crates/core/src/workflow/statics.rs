@@ -138,6 +138,7 @@ impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
     /// Maximizes the relaxation over `y` and settles `n_opt` as the better
     /// of `⌊y_opt⌋` / `⌈y_opt⌉` (the paper's prescription).
     pub fn optimize(&self) -> StaticPlan {
+        let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_STATIC);
         // Beyond R/E[X] (plus slack for variance) the sum exceeds R a.s.
         // and E(y) → 0; cap the search there.
         let y_max = (self.r / self.tasks.task_mean()) * 2.0 + 10.0;

@@ -25,6 +25,7 @@ const GOLDEN: f64 = 0.381_966_011_250_105_1; // (3 - sqrt(5)) / 2
 /// Finds a local minimum of `f`; for unimodal `f` this is the global
 /// minimum on the interval. `xtol` is the absolute x-tolerance.
 pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Extremum {
+    let _span = resq_obs::span::enter(resq_obs::span_name::BRENT);
     let (mut a, mut b) = if a <= b { (a, b) } else { (b, a) };
     let mut x = a + GOLDEN * (b - a);
     let mut w = x;

@@ -45,6 +45,7 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64
         r.value = -r.value;
         return r;
     }
+    let _span = resq_obs::span::enter(resq_obs::span_name::QUAD);
     let mut evals = 0usize;
     let mut eval = |x: f64| {
         evals += 1;

@@ -83,6 +83,7 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
     if fa.signum() == fb.signum() || fa.is_nan() || fb.is_nan() {
         return Err(BracketError);
     }
+    let _span = resq_obs::span::enter(resq_obs::span_name::BRENT);
     let (mut c, mut fc) = (a, fa);
     let mut d = b - a;
     let mut e = d;

@@ -69,6 +69,56 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The members in key order, if the value is an object.
+    pub fn entries(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering (canonical for scalars; objects and
+    /// arrays re-serialize with sorted keys). Used by `obs diff` to show
+    /// values and by tests; not guaranteed byte-identical to the input.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Number(raw) => out.push_str(raw),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Error from [`parse`]: byte offset and a short message.

@@ -16,11 +16,21 @@
 //!   histograms (quadrature evaluations, Brent iterations, RNG stream
 //!   derivations, Monte-Carlo trial throughput). Increments are batched
 //!   at call sites so hot loops pay one relaxed atomic add per call,
-//!   not per iteration.
+//!   not per iteration. Three expositions: human summary, Prometheus
+//!   text ([`metrics::format_prometheus`]) and JSON
+//!   ([`metrics::format_json`]).
+//! * **Spans** ([`span`]): RAII scoped timers forming a named hierarchy
+//!   (`solve/preemptible/brent`, `sim/mc/chunk`), aggregated into
+//!   power-of-two latency histograms. Span *structure* is deterministic;
+//!   durations are wall-clock facts quarantined with the other
+//!   provenance.
 //! * **Manifests** ([`RunManifest`]): a JSON sidecar written next to
 //!   every results artifact recording the exact configuration, seed,
 //!   thread count, wall time, crate version and git revision that
 //!   produced it.
+//! * **Summaries** ([`summarize`]): post-hoc aggregation of event logs
+//!   ([`LogSummary`]) and manifest drift reports
+//!   ([`summarize::manifest_diff`]) — the `resq obs` subcommands.
 //!
 //! The JSON emitted and parsed here is hand-rolled ([`json`]) in line
 //! with the workspace's offline-crates policy: no registry access is
@@ -47,7 +57,11 @@ mod event;
 mod manifest;
 pub mod metrics;
 mod sink;
+pub mod span;
+pub mod summarize;
 
 pub use event::{event_type, Event};
 pub use manifest::{git_rev, RunManifest};
 pub use sink::{JsonlSink, MemorySink, NullSink, RunSink};
+pub use span::{span_name, Span, SpanRegistry};
+pub use summarize::LogSummary;

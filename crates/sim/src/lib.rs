@@ -41,7 +41,7 @@ pub use campaign::{CampaignConfig, CampaignOutcome, CampaignSimulator};
 pub use failures::{
     young_daly_period, FailureOutcome, FailureWorkflowSim, PeriodicCheckpointPolicy,
 };
-pub use monte_carlo::{run_trials, run_trials_observed, run_trials_with, MonteCarloConfig};
+pub use monte_carlo::{run_trials, run_trials_observed, run_trials_with, MonteCarloConfig, CHUNK};
 pub use preemptible::{simulate_preemptible, PreemptibleOutcome, PreemptibleSim};
 pub use stats::{Histogram, Summary, Welford};
 pub use workflow::{simulate_workflow, SimEvent, WorkflowOutcome, WorkflowSim};

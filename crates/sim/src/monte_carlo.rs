@@ -10,7 +10,7 @@
 
 use crate::stats::{Summary, Welford};
 use resq_dist::Xoshiro256pp;
-use resq_obs::{event_type, metrics, Event, NullSink, RunSink};
+use resq_obs::{event_type, metrics, span, span_name, Event, NullSink, RunSink, Span};
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -96,9 +96,17 @@ where
     F: Fn(u64, &mut Xoshiro256pp) -> f64 + Sync,
 {
     metrics::MC_RUNS.inc();
+    // Capture the coordinating thread's span registry once and hand it
+    // to the chunk runner explicitly: chunk spans then land under the
+    // stable `sim/mc/chunk` path in *this* registry no matter which
+    // worker thread executes them, keeping span structure (names and
+    // counts) invariant under `threads`.
+    let spans = span::current();
+    let _run_span = span::enter(span_name::MC_RUN);
     let observing = sink.enabled();
     let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
     let run_chunk = |c: usize| {
+        let _chunk_span = Span::root(spans.clone(), span_name::MC_CHUNK);
         let lo = c as u64 * CHUNK;
         let hi = (lo + CHUNK).min(config.trials);
         let mut acc = Welford::new();

@@ -114,6 +114,51 @@ fn observed_event_log_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn span_structure_is_thread_count_invariant() {
+    // Span *durations* are wall-clock facts and differ run to run, but
+    // span *structure* — which paths exist and how often each closed —
+    // must be a pure function of the workload: the Monte-Carlo
+    // coordinator captures its registry once and hands workers explicit
+    // (registry, path) pairs, so `sim/mc/chunk` counts cannot depend on
+    // which thread ran a chunk.
+    use resq::obs::span::{self, SpanRegistry};
+    use resq::sim::run_trials_observed;
+    use resq::obs::NullSink;
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let structure = |threads: usize| {
+        let registry = SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            run_trials_observed(
+                MonteCarloConfig {
+                    trials: 25_000,
+                    seed: 99,
+                    threads,
+                },
+                &NullSink,
+                0,
+                |_, rng| s.run_once(&policy, rng).work_saved,
+            );
+        }
+        registry.structure()
+    };
+    let base = structure(1);
+    let paths: Vec<&str> = base.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(paths, vec!["sim/mc", "sim/mc/chunk"]);
+    let chunk_count = base.iter().find(|(p, _)| p == "sim/mc/chunk").unwrap().1;
+    assert_eq!(chunk_count, 25_000u64.div_ceil(resq::sim::CHUNK));
+    for threads in [2usize, 3, 5, 8] {
+        assert_eq!(
+            base,
+            structure(threads),
+            "span structure differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn analytic_planning_is_deterministic() {
     // No RNG involved: repeated planning gives identical bits.
     use resq::{DynamicStrategy, StaticStrategy};

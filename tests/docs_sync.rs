@@ -141,11 +141,53 @@ fn observability_doc_covers_every_metric() {
 
 #[test]
 fn usage_flags_are_documented_in_observability_doc() {
-    // The three shared observability switches must appear in both the
-    // USAGE string and the doc that explains them.
+    // The shared observability switches must appear in both the USAGE
+    // string and the doc that explains them.
     let doc = read("docs/OBSERVABILITY.md");
-    for flag in ["--log-json", "--metrics", "--progress"] {
+    for flag in ["--log-json", "--metrics", "--metrics-format", "--progress"] {
         assert!(USAGE.contains(flag), "USAGE lost {flag}");
         assert!(doc.contains(flag), "docs/OBSERVABILITY.md lost {flag}");
+    }
+}
+
+#[test]
+fn observability_doc_covers_every_span_name() {
+    let doc = read("docs/OBSERVABILITY.md");
+    for name in resq::obs::span_name::ALL {
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "docs/OBSERVABILITY.md does not document span `{name}`"
+        );
+    }
+}
+
+#[test]
+fn obs_subcommands_are_in_usage_and_docs() {
+    let doc = read("docs/OBSERVABILITY.md");
+    assert!(USAGE.contains("\n  obs "), "USAGE lost the `obs` subcommand");
+    for action in resq_cli::OBS_ACTIONS {
+        assert!(
+            USAGE.contains(&format!("obs {action} ")),
+            "USAGE lost `obs {action}`"
+        );
+        assert!(
+            doc.contains(&format!("obs {action}")),
+            "docs/OBSERVABILITY.md does not document `resq obs {action}`"
+        );
+    }
+}
+
+#[test]
+fn metrics_formats_are_in_usage_and_docs() {
+    let doc = read("docs/OBSERVABILITY.md");
+    for fmt in resq_cli::METRICS_FORMATS {
+        assert!(
+            USAGE.contains(fmt),
+            "USAGE lost metrics format `{fmt}`"
+        );
+        assert!(
+            doc.contains(&format!("`{fmt}`")),
+            "docs/OBSERVABILITY.md does not document metrics format `{fmt}`"
+        );
     }
 }
