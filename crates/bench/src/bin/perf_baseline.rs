@@ -7,12 +7,21 @@
 //! * adaptive Simpson quadrature of a smooth Gaussian-type integrand;
 //! * Brent root solves and Lambert-W evaluations (the §3/§4.3 kernels);
 //! * the preemptible and static optimizers (`solve/*` spans end-to-end);
-//! * `run_trials_observed` throughput at 1, 2 and N worker threads.
+//! * `run_trials_observed` throughput at 1, 2 and N worker threads
+//!   (`mc/*`), and the same workload through the chunk-buffered batched
+//!   sampler path `run_trials_batched` (`mc_batched/*`). In full mode
+//!   `--check` asserts `mc_batched/threads_1` beats `mc/threads_1`.
 //!
-//! Each hot path is timed through the [`resq_obs::span`] machinery
-//! itself (a scoped [`SpanRegistry`] per entry), so the harness also
-//! exercises the exact instrumentation the library runs with — the
-//! reported `nanos_per_iter` *includes* span overhead by construction.
+//! Each hot path runs under the [`resq_obs::span`] machinery (a scoped
+//! [`SpanRegistry`] per entry), so the harness exercises the exact
+//! instrumentation the library runs with and the reported timings
+//! *include* span overhead by construction. The numbers themselves come
+//! from one `Instant` measurement per iteration: `p50/p90/p99` are exact
+//! order-statistic quantiles of the per-iteration durations. (Schema v1
+//! read quantiles back from the span registry's power-of-two latency
+//! histogram — bucket midpoints, which collapsed every ~46 ms
+//! Monte-Carlo iteration into one bucket and made the thread-sweep
+//! quantiles byte-identical. Schema v2 records the real distribution.)
 //!
 //! ```text
 //! perf_baseline                 full mode: write BENCH_perf.json at the repo root
@@ -27,7 +36,8 @@
 
 use resq::core::policy::ThresholdWorkflowPolicy;
 use resq::dist::{Normal, Truncated, Uniform};
-use resq::sim::{run_trials_observed, MonteCarloConfig, WorkflowSim};
+use resq::sim::stats::quantile;
+use resq::sim::{run_trials_batched, run_trials_observed, BatchScratch, MonteCarloConfig, WorkflowSim};
 use resq::{Preemptible, StaticStrategy};
 use resq_dist::Poisson;
 use resq_numerics::{adaptive_simpson, brent_root};
@@ -38,7 +48,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-const SCHEMA: &str = "resq-perf-baseline/v1";
+/// `v2`: exact per-iteration quantiles (v1 reported histogram-bucket
+/// midpoints) and the `mc_batched/*` fast-path entries.
+const SCHEMA: &str = "resq-perf-baseline/v2";
 
 /// One timed hot path.
 struct Entry {
@@ -51,30 +63,40 @@ struct Entry {
     p99_nanos: f64,
 }
 
-/// Times `iters` repetitions of `work` through a fresh scoped span
-/// registry and reads the result back out of the span histogram.
+/// Times `iters` repetitions of `work`, each under a span in a fresh
+/// scoped registry (so the measurement includes the instrumentation the
+/// library really runs with), recording one exact `Instant` duration per
+/// iteration. Quantiles are order statistics of those durations — not
+/// histogram-bucket read-backs.
 fn time_entry(name: &str, iters: u64, mut work: impl FnMut()) -> Entry {
     let registry = SpanRegistry::new();
+    let mut durations: Vec<f64> = Vec::with_capacity(iters as usize);
     {
         let _scope = span::scoped(registry.clone());
         for _ in 0..iters {
-            let _span = span::enter(name);
-            work();
+            let t0 = Instant::now();
+            {
+                let _span = span::enter(name);
+                work();
+            }
+            durations.push(t0.elapsed().as_nanos() as f64);
         }
     }
-    let stats = registry
+    let recorded = registry
         .snapshot()
         .into_iter()
         .find(|s| s.path == name)
         .expect("the timed span must be in its own registry");
+    assert_eq!(recorded.count, iters, "span machinery dropped iterations");
+    let total: f64 = durations.iter().sum();
     Entry {
         name: name.to_string(),
-        iters: stats.count,
-        total_nanos: stats.total_nanos,
-        nanos_per_iter: stats.mean_nanos(),
-        p50_nanos: stats.quantile_nanos(0.50),
-        p90_nanos: stats.quantile_nanos(0.90),
-        p99_nanos: stats.quantile_nanos(0.99),
+        iters,
+        total_nanos: total as u64,
+        nanos_per_iter: total / iters as f64,
+        p50_nanos: quantile(&durations, 0.50),
+        p90_nanos: quantile(&durations, 0.90),
+        p99_nanos: quantile(&durations, 0.99),
     }
 }
 
@@ -87,7 +109,13 @@ fn scaled(full: u64, smoke: bool) -> u64 {
     }
 }
 
-fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool) -> Entry {
+/// Times one full Monte-Carlo run per iteration, through either the
+/// per-trial scalar path (`batched = false`, the `mc/*` entries) or the
+/// chunk-buffered batched path (`batched = true`, `mc_batched/*`). Both
+/// use the same workload: the fig. 8 truncated-Normal workflow at the
+/// same trial count, seed and thread count, so the two families are
+/// directly comparable per iteration.
+fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool, batched: bool) -> Entry {
     let trials = scaled(trials, smoke).max(100);
     let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
     let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
@@ -103,9 +131,15 @@ fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool) -> Entry {
         threads,
     };
     time_entry(name, scaled(6, smoke), || {
-        let s = run_trials_observed(cfg, &NullSink, 0, |_, rng| {
-            sim.run_once(&policy, rng).work_saved
-        });
+        let s = if batched {
+            run_trials_batched(cfg, &NullSink, 0, BatchScratch::new, |_, rng, scratch| {
+                sim.run_once_batched(&policy, rng, scratch).work_saved
+            })
+        } else {
+            run_trials_observed(cfg, &NullSink, 0, |_, rng| {
+                sim.run_once(&policy, rng).work_saved
+            })
+        };
         black_box(s.mean);
     })
 }
@@ -144,13 +178,18 @@ fn collect(smoke: bool) -> Vec<Entry> {
         black_box(plan.n_opt);
     }));
 
-    entries.push(mc_entry("mc/threads_1", 1, 40_000, smoke));
-    entries.push(mc_entry("mc/threads_2", 2, 40_000, smoke));
+    entries.push(mc_entry("mc/threads_1", 1, 40_000, smoke, false));
+    entries.push(mc_entry("mc/threads_2", 2, 40_000, smoke, false));
+    entries.push(mc_entry("mc/threads_max", n_threads.max(2), 40_000, smoke, false));
+
+    entries.push(mc_entry("mc_batched/threads_1", 1, 40_000, smoke, true));
+    entries.push(mc_entry("mc_batched/threads_2", 2, 40_000, smoke, true));
     entries.push(mc_entry(
-        "mc/threads_max",
+        "mc_batched/threads_max",
         n_threads.max(2),
         40_000,
         smoke,
+        true,
     ));
 
     entries
@@ -252,6 +291,26 @@ fn check(path: &str) -> Result<(), String> {
         .ok_or("provenance missing `threads`")?;
     if prov.get("git_rev").is_none() {
         return Err("provenance missing `git_rev`".to_string());
+    }
+    // Full-mode reports must show the batched fast path actually paying
+    // for itself on the single-threaded sweep. Smoke runs are too short
+    // and noisy for a speed assertion, so only the schema is checked.
+    if prov.get("mode").and_then(|v| v.as_str()) == Some("full") {
+        let per_iter = |wanted: &str| -> Result<f64, String> {
+            entries
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
+                .and_then(|e| e.get("nanos_per_iter").and_then(|v| v.as_f64()))
+                .ok_or_else(|| format!("full-mode report missing `{wanted}`"))
+        };
+        let scalar = per_iter("mc/threads_1")?;
+        let batched = per_iter("mc_batched/threads_1")?;
+        if batched >= scalar {
+            return Err(format!(
+                "mc_batched/threads_1 ({batched:.1} ns/iter) is not faster than \
+                 mc/threads_1 ({scalar:.1} ns/iter)"
+            ));
+        }
     }
     println!("{path}: ok ({} entries)", entries.len());
     Ok(())

@@ -31,7 +31,7 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Boolean flags (present/absent, no value token): the observability
     /// switches shared by every subcommand.
-    pub const BOOL_FLAGS: &'static [&'static str] = &["metrics", "progress"];
+    pub const BOOL_FLAGS: &'static [&'static str] = &["batch", "metrics", "progress"];
 
     /// Parses `tokens` (without the program name): one optional
     /// subcommand, then any positional operands, then `--key value`

@@ -42,6 +42,9 @@ COMMANDS:
       --task <law>  --ckpt <law>  --reservation <R>  --threshold <W>
       [--trials <n>=100000] [--seed <s>=42] [--threads <t>=auto]
       [--sample-every <k>=10000]   trial-sample row every k-th trial index
+      [--batch]                    chunk-buffered batched sampling fast path
+                                   (same estimates; bit-identical for laws
+                                   whose batch kernel preserves draw order)
   learn             learn the checkpoint law from a JSONL trace (paper: \"learned
                     from traces of previous checkpoints\") and plan
       --trace <file.jsonl>  --reservation <R>

@@ -15,7 +15,10 @@
 
 use resq::dist::{Distribution, Xoshiro256pp};
 use resq::obs::{event_type, Event, JsonlSink, NullSink, RunManifest, RunSink};
-use resq::sim::{run_trials, run_trials_observed, MonteCarloConfig, WorkflowSim};
+use resq::sim::{
+    run_trials, run_trials_batched, run_trials_observed, BatchScratch, MonteCarloConfig,
+    WorkflowSim,
+};
 use resq::{ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
 use resq_cli::args::{ArgError, Args};
 use resq_cli::spec::{parse_law, DynLaw, LawSpec};
@@ -312,10 +315,14 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
     let threads = args.u64_or("threads", 0)? as usize;
     let sample_every = args.u64_or("sample-every", 10_000)?;
     let progress = args.bool_flag("progress");
+    let batch = args.bool_flag("batch");
     let obs = Obs::from_args(args)?;
     // Config echo. Deliberately NO thread count here: the event log is
     // byte-identical for a fixed seed regardless of --threads (threads
-    // and wall time are provenance and live in the manifest).
+    // and wall time are provenance and live in the manifest). `--batch`
+    // IS echoed: for laws whose batch kernel reorders draws the results
+    // legitimately differ from the scalar path, so the toggle is config,
+    // not provenance.
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "simulate")
@@ -325,7 +332,8 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
             .f64("threshold", threshold)
             .u64("trials", trials)
             .u64("seed", seed)
-            .u64("sample_every", sample_every),
+            .u64("sample_every", sample_every)
+            .bool("batch", batch),
     );
     let sim = WorkflowSim {
         reservation: r,
@@ -340,25 +348,55 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
     };
     let tick = (trials / 20).max(1);
     let done = AtomicU64::new(0);
-    let saved = run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+    let note_progress = || {
         if progress {
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             if d % tick == 0 {
                 eprintln!("progress          : {d}/{trials} trials");
             }
         }
-        sim.run_once(&policy, rng).work_saved
-    });
+    };
+    let saved = if batch {
+        run_trials_batched(
+            cfg,
+            obs.sink.as_ref(),
+            sample_every,
+            BatchScratch::new,
+            |_, rng, scratch| {
+                note_progress();
+                sim.run_once_batched(&policy, rng, scratch).work_saved
+            },
+        )
+    } else {
+        run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+            note_progress();
+            sim.run_once(&policy, rng).work_saved
+        })
+    };
+    // The success-rate pass re-runs the same trial streams, so it must
+    // use the same kernel as the main pass for the two to agree exactly.
     let success = run_trials(cfg, |_, rng| {
-        sim.run_once(&policy, rng).checkpoint_succeeded as u64 as f64
+        let o = if batch {
+            sim.run_once_batched(&policy, rng, &mut BatchScratch::new())
+        } else {
+            sim.run_once(&policy, rng)
+        };
+        o.checkpoint_succeeded as u64 as f64
     });
     // Policy decisions for the sampled trials, re-derived serially in
-    // index order so the log stays deterministic.
+    // index order so the log stays deterministic. Same kernel as the
+    // main pass: `run_once_batched` resets its scratch per trial, so a
+    // fresh scratch here reproduces the batched run's draws exactly.
     if obs.sink.enabled() && sample_every > 0 {
+        let mut scratch = BatchScratch::new();
         let mut i = 0;
         while i < trials {
             let mut rng = Xoshiro256pp::for_stream(seed, i);
-            let o = sim.run_once(&policy, &mut rng);
+            let o = if batch {
+                sim.run_once_batched(&policy, &mut rng, &mut scratch)
+            } else {
+                sim.run_once(&policy, &mut rng)
+            };
             obs.emit(
                 Event::new(event_type::CHECKPOINT_DECISION)
                     .u64("trial", i)
@@ -399,6 +437,7 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
             .config("reservation", r)
             .config("threshold", threshold)
             .config("sample_every", sample_every)
+            .config("batch", batch)
             .seed(seed)
             .threads(resolved_threads)
             .trials(trials),
@@ -564,6 +603,64 @@ mod tests {
             "2000"
         ])
         .is_ok());
+    }
+
+    #[test]
+    fn simulate_batch_fast_path() {
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "2000",
+            "--batch"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn simulate_batch_event_log_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let capture = |threads: &str, name: &str| {
+            let log = dir.join(name);
+            run_tokens(&[
+                "simulate",
+                "--task",
+                "normal:3,0.5@0,",
+                "--ckpt",
+                "normal:5,0.4@0,",
+                "--reservation",
+                "29",
+                "--threshold",
+                "20.3",
+                "--trials",
+                "9000",
+                "--seed",
+                "5",
+                "--sample-every",
+                "2000",
+                "--threads",
+                threads,
+                "--batch",
+                "--log-json",
+                log.to_str().unwrap(),
+            ])
+            .unwrap();
+            let text = std::fs::read_to_string(&log).unwrap();
+            std::fs::remove_file(&log).ok();
+            std::fs::remove_file(dir.join(name.replace(".jsonl", ".manifest.json"))).ok();
+            text
+        };
+        let one = capture("1", "bt1.jsonl");
+        let four = capture("4", "bt4.jsonl");
+        assert_eq!(one, four, "batched event log must not depend on --threads");
     }
 
     #[test]

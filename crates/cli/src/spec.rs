@@ -31,6 +31,10 @@ pub trait ErasedLaw: Send + Sync {
     fn variance(&self) -> f64;
     /// Draw one variate.
     fn sample(&self, rng: &mut dyn RngCore) -> f64;
+    /// Fill a slice with variates via the law's batch kernel (see
+    /// [`Sample::sample_batch`]); keeps the CLI's `--batch` fast path
+    /// from degrading to one virtual call per draw.
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]);
 }
 
 impl<D: Continuous + Sample + Send + Sync> ErasedLaw for D {
@@ -57,6 +61,9 @@ impl<D: Continuous + Sample + Send + Sync> ErasedLaw for D {
     }
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         Sample::sample(self, rng)
+    }
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        Sample::sample_batch(self, rng, out)
     }
 }
 
@@ -95,6 +102,9 @@ impl Sample for DynLaw {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         self.0.sample(rng)
     }
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.0.sample_batch(rng, out)
+    }
 }
 
 impl resq::core::workflow::task_law::TaskDuration for DynLaw {
@@ -106,6 +116,9 @@ impl resq::core::workflow::task_law::TaskDuration for DynLaw {
     }
     fn draw(&self, rng: &mut dyn RngCore) -> f64 {
         self.0.sample(rng)
+    }
+    fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.0.sample_batch(rng, out)
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::error::CoreError;
 use crate::workflow::sum_law::IidSum;
 use resq_dist::Continuous;
-use resq_numerics::{grid_max, round_to_better_integer, GridSpec, NeumaierSum};
+use resq_numerics::{grid_max, round_to_better_integer, GridSpec, LatticeCache, NeumaierSum};
 
 /// The static plan: checkpoint after `n_opt` tasks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,28 +135,84 @@ impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
         self.expected_work_relaxed(n as f64)
     }
 
+    /// [`StaticStrategy::expected_work_relaxed`] with the fit probability
+    /// `P(C ≤ R−x)` served from a precomputed lattice instead of being
+    /// re-evaluated at every quadrature node — the search-phase fast
+    /// path. Accuracy is the lattice's interpolation error (second order
+    /// in the step), which is why [`StaticStrategy::optimize`] only uses
+    /// this to *locate* the optimum and re-evaluates the winner exactly.
+    fn expected_work_relaxed_memoized(&self, y: f64, fit: &LatticeCache) -> f64 {
+        if !(y > 0.0) {
+            return 0.0;
+        }
+        let (lo, hi) = self.tasks.sum_bounds(y);
+        let hi = hi.min(self.r);
+        if hi <= lo {
+            return 0.0;
+        }
+        resq_numerics::adaptive_simpson(
+            |x| {
+                let c = self.r - x;
+                if c <= 0.0 {
+                    return 0.0;
+                }
+                x * fit.eval(c) * self.tasks.sum_density(y, x)
+            },
+            lo,
+            hi,
+            1e-11,
+        )
+        .value
+    }
+
+    /// Cells in the search-phase fit-probability lattice: step `R/4096`,
+    /// interpolation error `≲ (R/4096)²·max|pdf′|/8` — far below the
+    /// `xtol`-level resolution the relaxed search needs.
+    const FIT_LATTICE_CELLS: usize = 4096;
+
     /// Maximizes the relaxation over `y` and settles `n_opt` as the better
     /// of `⌊y_opt⌋` / `⌈y_opt⌉` (the paper's prescription).
+    ///
+    /// The grid/golden-section search memoizes the checkpoint-fit
+    /// probability on a lattice over `[0, R]` (it is the same function at
+    /// every `y`, evaluated at hundreds of quadrature nodes per
+    /// candidate); the reported `relaxed_value` and `expected_work` are
+    /// re-evaluated through the exact path at the located optimum, so
+    /// memoization only steers the search, never the answer.
     pub fn optimize(&self) -> StaticPlan {
         let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_STATIC);
         // Beyond R/E[X] (plus slack for variance) the sum exceeds R a.s.
         // and E(y) → 0; cap the search there.
         let y_max = (self.r / self.tasks.task_mean()) * 2.0 + 10.0;
-        let e = grid_max(
-            |y| self.expected_work_relaxed(y),
-            1e-3,
-            y_max,
-            GridSpec {
-                points: 256,
-                xtol: 1e-8,
-            },
-        );
+        let spec = GridSpec {
+            points: 256,
+            xtol: 1e-8,
+        };
+        // The discrete (Poisson) relaxation evaluates the fit probability
+        // at only ⌊R⌋+1 integer points per candidate — nothing to
+        // memoize there.
+        let e = if self.tasks.is_discrete() {
+            grid_max(|y| self.expected_work_relaxed(y), 1e-3, y_max, spec)
+        } else {
+            let fit = LatticeCache::build(
+                |c| self.fit_probability(c),
+                0.0,
+                self.r,
+                Self::FIT_LATTICE_CELLS,
+            );
+            grid_max(
+                |y| self.expected_work_relaxed_memoized(y, &fit),
+                1e-3,
+                y_max,
+                spec,
+            )
+        };
         let n_hi = (y_max.ceil() as u64).max(2);
         let (n_opt, expected_work) =
             round_to_better_integer(|n| self.expected_work(n), e.x, 1, n_hi);
         StaticPlan {
             y_opt: e.x,
-            relaxed_value: e.value,
+            relaxed_value: self.expected_work_relaxed(e.x),
             n_opt,
             expected_work,
         }
@@ -245,6 +301,32 @@ mod tests {
         assert!((h5 - 14.6).abs() < 0.15, "h(5) = {h5}");
         assert!((h6 - 15.8).abs() < 0.15, "h(6) = {h6}");
         assert!(h6 > h5);
+    }
+
+    #[test]
+    fn memoized_relaxation_tracks_exact_relaxation() {
+        // The lattice-served search objective must agree with the exact
+        // relaxation to within interpolation error everywhere the search
+        // looks — this is what justifies steering on it.
+        let s = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            ckpt(5.0, 0.4),
+            30.0,
+        )
+        .unwrap();
+        let fit = LatticeCache::build(
+            |c| s.fit_probability(c),
+            0.0,
+            30.0,
+            StaticStrategy::<Normal, Truncated<Normal>>::FIT_LATTICE_CELLS,
+        );
+        for k in 1..=40 {
+            let y = 0.25 * k as f64;
+            let exact = s.expected_work_relaxed(y);
+            let memo = s.expected_work_relaxed_memoized(y, &fit);
+            // Bound: h²·max|F_C″|/8 ≈ (30/4096)²·1.5/8 ≈ 1e-5.
+            assert!((exact - memo).abs() < 5e-5, "y = {y}: {exact} vs {memo}");
+        }
     }
 
     #[test]

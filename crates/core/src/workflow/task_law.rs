@@ -27,6 +27,18 @@ pub trait TaskDuration {
 
     /// Draws one task duration.
     fn draw(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Fills `out` with task durations — the batched counterpart of
+    /// [`TaskDuration::draw`], forwarded to `Sample::sample_batch` by the
+    /// law impls so simulators can draw a trial's tasks in one block.
+    /// The default loops [`TaskDuration::draw`], which is draw-order
+    /// preserving; the same caveat as `Sample::sample_batch` applies to
+    /// laws with specialized batch kernels.
+    fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.draw(rng);
+        }
+    }
 }
 
 /// `E[W_{+1}]` by quadrature against any continuous task density — the
@@ -90,6 +102,9 @@ macro_rules! impl_continuous_task {
             fn draw(&self, rng: &mut dyn RngCore) -> f64 {
                 self.sample(rng)
             }
+            fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+                self.sample_batch(rng, out)
+            }
         }
     )+};
 }
@@ -115,6 +130,10 @@ impl<D: Continuous + Sample> TaskDuration for resq_dist::Truncated<D> {
 
     fn draw(&self, rng: &mut dyn RngCore) -> f64 {
         self.sample(rng)
+    }
+
+    fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.sample_batch(rng, out)
     }
 }
 

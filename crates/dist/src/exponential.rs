@@ -94,6 +94,16 @@ impl Sample for Exponential {
         // Inversion on (0, 1] keeps ln away from 0.
         -uniform01_open_left(rng).ln() / self.lambda
     }
+
+    /// Block-buffered uniforms, then the same `(0, 1]` inversion as the
+    /// scalar path — bit-identical to repeated [`Sample::sample`] calls
+    /// (draw-order preserving).
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        crate::traits::fill_uniform01(rng, out);
+        for slot in out.iter_mut() {
+            *slot = -(1.0 - *slot).ln() / self.lambda;
+        }
+    }
 }
 
 #[cfg(test)]

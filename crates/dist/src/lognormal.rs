@@ -110,6 +110,21 @@ impl Sample for LogNormal {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         (self.mu + self.sigma * standard_normal(rng)).exp()
     }
+
+    /// Polar-pair batch kernel (both variates of each accepted polar
+    /// point are used). Not draw-order preserving — see
+    /// [`crate::Normal`]'s batch override.
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let (z0, z1) = crate::normal::standard_normal_pair(rng);
+            pair[0] = (self.mu + self.sigma * z0).exp();
+            pair[1] = (self.mu + self.sigma * z1).exp();
+        }
+        for slot in chunks.into_remainder() {
+            *slot = (self.mu + self.sigma * standard_normal(rng)).exp();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,15 @@ impl Sample for Uniform {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         self.a + uniform01(rng) * (self.b - self.a)
     }
+
+    /// Block-buffered uniforms, then the scalar affine map — bit-identical
+    /// to repeated [`Sample::sample`] calls (draw-order preserving).
+    fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        crate::traits::fill_uniform01(rng, out);
+        for slot in out.iter_mut() {
+            *slot = self.a + *slot * (self.b - self.a);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! * [`sum`] — compensated (Neumaier) summation for the long Poisson sums
 //!   of §4.2.3/§4.3.3.
 
+pub mod memo;
 pub mod optimize;
 pub mod quad;
 pub mod roots;
@@ -26,6 +27,7 @@ pub mod sum;
 pub use optimize::{
     brent_max, brent_min, grid_max, integer_argmax, round_to_better_integer, Extremum, GridSpec,
 };
+pub use memo::LatticeCache;
 pub use quad::{adaptive_simpson, integrate_to_inf, GaussLegendre, QuadResult};
 pub use roots::{bisect, brent_root, newton_safeguarded, BracketError};
 pub use sum::NeumaierSum;

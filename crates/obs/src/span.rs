@@ -57,6 +57,12 @@ pub mod span_name {
     /// One 4096-trial Monte-Carlo chunk. Root span (chunks execute on
     /// worker threads; a root path keeps the structure thread-invariant).
     pub const MC_CHUNK: &str = "sim/mc/chunk";
+    /// One 4096-trial chunk on the batched sampling fast path
+    /// (`run_trials_batched`). Root span, same contract as
+    /// [`MC_CHUNK`]; a scalar run never records it and a batched run
+    /// never records `sim/mc/chunk`, so the two paths are
+    /// distinguishable in any span snapshot.
+    pub const MC_BATCH: &str = "sim/mc/batch";
     /// Leaf: one Brent root-find or minimization (`resq_numerics`).
     pub const BRENT: &str = "brent";
     /// Leaf: one adaptive-quadrature call (`resq_numerics::quad`).
@@ -71,6 +77,7 @@ pub mod span_name {
         SOLVE_DYNAMIC,
         MC_RUN,
         MC_CHUNK,
+        MC_BATCH,
         BRENT,
         QUAD,
         BENCH_FIGURE,

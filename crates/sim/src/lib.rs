@@ -41,8 +41,10 @@ pub use campaign::{CampaignConfig, CampaignOutcome, CampaignSimulator};
 pub use failures::{
     young_daly_period, FailureOutcome, FailureWorkflowSim, PeriodicCheckpointPolicy,
 };
-pub use monte_carlo::{run_trials, run_trials_observed, run_trials_with, MonteCarloConfig, CHUNK};
+pub use monte_carlo::{
+    run_trials, run_trials_batched, run_trials_observed, run_trials_with, MonteCarloConfig, CHUNK,
+};
 pub use preemptible::{simulate_preemptible, PreemptibleOutcome, PreemptibleSim};
 pub use stats::{Histogram, Summary, Welford};
-pub use workflow::{simulate_workflow, SimEvent, WorkflowOutcome, WorkflowSim};
+pub use workflow::{simulate_workflow, BatchScratch, SimEvent, WorkflowOutcome, WorkflowSim};
 pub use workload::{ConvergenceModel, IterativeJob};

@@ -95,6 +95,68 @@ pub fn run_trials_observed<F>(
 where
     F: Fn(u64, &mut Xoshiro256pp) -> f64 + Sync,
 {
+    run_trials_core(
+        config,
+        sink,
+        sample_every,
+        span_name::MC_CHUNK,
+        || (),
+        move |i, rng, _scratch: &mut ()| trial(i, rng),
+    )
+}
+
+/// Batched-sampling variant of [`run_trials_observed`]: each chunk builds
+/// one `scratch` value (`make_scratch`) and threads it through every
+/// trial of the chunk, so trial kernels can reuse per-chunk sample
+/// buffers (see `WorkflowSim::run_once_batched`) instead of allocating —
+/// or drawing variates one virtual call at a time.
+///
+/// The determinism contract is unchanged: trial `i` still owns the
+/// private stream `for_stream(seed, i)` and per-chunk accumulators merge
+/// in chunk order, so results and event logs are bit-identical for any
+/// `threads`. Scratch state never crosses a chunk boundary mid-trial and
+/// chunks are a fixed [`CHUNK`] trials, so scratch reuse cannot couple
+/// trials across scheduling decisions. Chunks record under the
+/// `sim/mc/batch` span (scalar chunks use `sim/mc/chunk`), which is how
+/// span snapshots tell the two paths apart.
+pub fn run_trials_batched<S, M, F>(
+    config: MonteCarloConfig,
+    sink: &dyn RunSink,
+    sample_every: u64,
+    make_scratch: M,
+    trial: F,
+) -> Summary
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut Xoshiro256pp, &mut S) -> f64 + Sync,
+{
+    run_trials_core(
+        config,
+        sink,
+        sample_every,
+        span_name::MC_BATCH,
+        make_scratch,
+        trial,
+    )
+}
+
+/// Shared chunk-parallel harness behind the scalar and batched runners;
+/// `chunk_span` names the per-chunk root span, `make_scratch` builds the
+/// per-chunk trial state.
+fn run_trials_core<S, M, F>(
+    config: MonteCarloConfig,
+    sink: &dyn RunSink,
+    sample_every: u64,
+    chunk_span: &'static str,
+    make_scratch: M,
+    trial: F,
+) -> Summary
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut Xoshiro256pp, &mut S) -> f64 + Sync,
+{
     metrics::MC_RUNS.inc();
     // Capture the coordinating thread's span registry once and hand it
     // to the chunk runner explicitly: chunk spans then land under the
@@ -106,14 +168,15 @@ where
     let observing = sink.enabled();
     let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
     let run_chunk = |c: usize| {
-        let _chunk_span = Span::root(spans.clone(), span_name::MC_CHUNK);
+        let _chunk_span = Span::root(spans.clone(), chunk_span);
         let lo = c as u64 * CHUNK;
         let hi = (lo + CHUNK).min(config.trials);
         let mut acc = Welford::new();
         let mut events: Vec<Event> = Vec::new();
+        let mut scratch = make_scratch();
         for i in lo..hi {
             let mut rng = Xoshiro256pp::for_stream(config.seed, i);
-            let value = trial(i, &mut rng);
+            let value = trial(i, &mut rng, &mut scratch);
             acc.add(value);
             if observing && sample_every > 0 && i % sample_every == 0 {
                 events.push(
@@ -366,6 +429,48 @@ mod tests {
         let a = run_trials(cfg, |i, _| i as f64);
         let b = run_trials_observed(cfg, &resq_obs::NullSink, 100, |i, _| i as f64);
         assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn batched_runner_with_passthrough_trial_matches_scalar() {
+        // With a unit scratch and a scalar-drawing trial the batched
+        // runner is the same computation as the scalar one — same
+        // per-trial streams, same chunk merge order.
+        let law = Normal::new(3.0, 0.5).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 10_000,
+            seed: 17,
+            threads: 3,
+        };
+        let a = run_trials(cfg, |_, rng| law.sample(rng));
+        let b = run_trials_batched(cfg, &resq_obs::NullSink, 0, || (), |_, rng, _scratch| {
+            law.sample(rng)
+        });
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_dev, b.std_dev);
+    }
+
+    #[test]
+    fn batched_runner_records_batch_chunk_spans() {
+        let registry = resq_obs::span::SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            let cfg = MonteCarloConfig {
+                trials: 9000,
+                seed: 4,
+                threads: 2,
+            };
+            run_trials_batched(cfg, &resq_obs::NullSink, 0, || (), |i, _, _| i as f64);
+        }
+        let structure = registry.structure();
+        let paths: Vec<&str> = structure.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec![span_name::MC_RUN, span_name::MC_BATCH]);
+        let batch_chunks = structure
+            .iter()
+            .find(|(p, _)| p == span_name::MC_BATCH)
+            .map(|(_, n)| *n)
+            .unwrap();
+        assert_eq!(batch_chunks, 9000u64.div_ceil(CHUNK));
     }
 
     #[test]

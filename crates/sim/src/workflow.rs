@@ -57,6 +57,15 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
         rng: &mut dyn RngCore,
     ) -> WorkflowOutcome {
         let r = self.reservation;
+        // The checkpoint duration is independent of the task stream, so
+        // it is drawn up front (as `run_oracle` always has). This fixes
+        // its stream position regardless of how many tasks run, which is
+        // what lets `run_once_batched` pre-draw task blocks and stay
+        // bit-identical to this scalar path for draw-order-preserving
+        // laws. (Draw-order re-lock, PR 3: trials consume `(C, X_1,
+        // X_2, …)` instead of `(X_1, …, X_k, C)` — same distribution,
+        // different bits; MC golden values were re-locked accordingly.)
+        let c = self.ckpt.sample(rng);
         let mut elapsed = 0.0f64;
         let mut tasks = 0u64;
         loop {
@@ -64,7 +73,6 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
             // start: a policy may checkpoint before any task — useless
             // but legal).
             if policy.decide(tasks, elapsed) == Action::Checkpoint {
-                let c = self.ckpt.sample(rng);
                 let succeeded = elapsed + c <= r;
                 return WorkflowOutcome {
                     work_saved: if succeeded { elapsed } else { 0.0 },
@@ -80,6 +88,104 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
             let x = self.task.draw(rng).max(0.0);
             if elapsed + x > r {
                 // Reservation expires mid-task: everything is lost.
+                return WorkflowOutcome {
+                    work_saved: 0.0,
+                    tasks_completed: tasks,
+                    work_at_checkpoint: elapsed,
+                    checkpoint_attempted: false,
+                    checkpoint_succeeded: false,
+                    checkpoint_duration: 0.0,
+                    time_used: r,
+                };
+            }
+            elapsed += x;
+            tasks += 1;
+        }
+    }
+}
+
+/// Reusable draw buffers for [`WorkflowSim::run_once_batched`]. Built
+/// once per Monte-Carlo chunk (see `run_trials_batched`) and threaded
+/// through every trial, so the batched kernel allocates nothing per
+/// trial.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    tasks: Vec<f64>,
+    next: usize,
+}
+
+impl BatchScratch {
+    /// Task draws per refill block. Sized so the paper's §4 geometries
+    /// (`R/E[X]` ≈ 8–10 tasks per reservation) usually need exactly one
+    /// block per trial; surplus draws are discarded with the trial's
+    /// private stream, costing one cheap batch draw each.
+    const BLOCK: usize = 8;
+
+    /// Creates empty scratch with the block capacity pre-allocated.
+    pub fn new() -> Self {
+        Self {
+            tasks: Vec::with_capacity(Self::BLOCK),
+            next: 0,
+        }
+    }
+
+    /// Discards buffered draws (a new trial owns a new RNG stream).
+    fn reset(&mut self) {
+        self.tasks.clear();
+        self.next = 0;
+    }
+}
+
+impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
+    /// Batched-sampling variant of [`WorkflowSim::run_once`]: the
+    /// checkpoint duration comes from a length-1 `sample_batch` call and
+    /// task durations are pre-drawn in blocks of 8 (see [`BatchScratch`])
+    /// through [`TaskDuration::draw_batch`], replacing one virtual
+    /// sampler call per draw with one per block (and unlocking the
+    /// specialized batch kernels — polar pairs, truncated rejection —
+    /// where the laws provide them).
+    ///
+    /// For laws whose batch kernels are draw-order preserving (the
+    /// defaults) the outcome is bit-identical to [`WorkflowSim::run_once`]
+    /// on the same stream: both consume `(C, X_1, X_2, …)` in order, and
+    /// block over-draws are discarded along with the trial's private
+    /// stream. For specialized kernels the outcome is statistically —
+    /// not bitwise — equivalent; thread-count invariance holds either
+    /// way because nothing here depends on scheduling.
+    pub fn run_once_batched<P: WorkflowPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        rng: &mut dyn RngCore,
+        scratch: &mut BatchScratch,
+    ) -> WorkflowOutcome {
+        scratch.reset();
+        let r = self.reservation;
+        let mut c1 = [0.0f64];
+        self.ckpt.sample_batch(rng, &mut c1);
+        let c = c1[0];
+        let mut elapsed = 0.0f64;
+        let mut tasks = 0u64;
+        loop {
+            if policy.decide(tasks, elapsed) == Action::Checkpoint {
+                let succeeded = elapsed + c <= r;
+                return WorkflowOutcome {
+                    work_saved: if succeeded { elapsed } else { 0.0 },
+                    tasks_completed: tasks,
+                    work_at_checkpoint: elapsed,
+                    checkpoint_attempted: true,
+                    checkpoint_succeeded: succeeded,
+                    checkpoint_duration: c,
+                    time_used: if succeeded { elapsed + c } else { r },
+                };
+            }
+            if scratch.next == scratch.tasks.len() {
+                scratch.tasks.resize(BatchScratch::BLOCK, 0.0);
+                self.task.draw_batch(rng, &mut scratch.tasks);
+                scratch.next = 0;
+            }
+            let x = scratch.tasks[scratch.next].max(0.0);
+            scratch.next += 1;
+            if elapsed + x > r {
                 return WorkflowOutcome {
                     work_saved: 0.0,
                     tasks_completed: tasks,
@@ -177,11 +283,13 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
     ) -> (WorkflowOutcome, Vec<SimEvent>) {
         let r = self.reservation;
         let mut events = Vec::new();
+        // Drawn up front, mirroring `run_once` — the two must consume the
+        // stream identically for `traced_and_plain_runs_agree`.
+        let c = self.ckpt.sample(rng);
         let mut elapsed = 0.0f64;
         let mut tasks = 0u64;
         loop {
             if policy.decide(tasks, elapsed) == Action::Checkpoint {
-                let c = self.ckpt.sample(rng);
                 events.push(SimEvent::CheckpointStarted {
                     at: elapsed,
                     work: elapsed,
@@ -272,6 +380,55 @@ mod tests {
             task: tn(3.0, 0.5),
             ckpt: tn(5.0, 0.4),
         }
+    }
+
+    #[test]
+    fn batched_kernel_bit_identical_for_draw_order_preserving_laws() {
+        // Gamma uses the default (scalar-loop) batch kernel and Uniform's
+        // override is bit-identical to its scalar path, so batched and
+        // scalar trials on the same stream must agree bitwise — block
+        // over-draws land past everything the scalar path consumes.
+        use resq_dist::{Gamma, Uniform};
+        let sim = WorkflowSim {
+            reservation: 29.0,
+            task: Gamma::new(9.0, 1.0 / 3.0).unwrap(),
+            ckpt: Uniform::new(4.0, 6.0).unwrap(),
+        };
+        let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+        let mut scratch = BatchScratch::new();
+        for i in 0..500u64 {
+            let mut a = Xoshiro256pp::for_stream(5, i);
+            let mut b = Xoshiro256pp::for_stream(5, i);
+            let scalar = sim.run_once(&policy, &mut a);
+            let batched = sim.run_once_batched(&policy, &mut b, &mut scratch);
+            assert_eq!(scalar, batched, "trial {i}");
+        }
+    }
+
+    #[test]
+    fn batched_kernel_statistically_matches_scalar_for_truncated_normal() {
+        // Truncated<Normal> batches by rejection (different bits, same
+        // law): means must agree within combined Monte-Carlo error.
+        use crate::monte_carlo::run_trials_batched;
+        use resq_obs::NullSink;
+        let sim = sim_fig8();
+        let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+        let cfg = MonteCarloConfig {
+            trials: 60_000,
+            seed: 31,
+            threads: 0,
+        };
+        let scalar = run_trials(cfg, |_, rng| sim.run_once(&policy, rng).work_saved);
+        let batched = run_trials_batched(cfg, &NullSink, 0, BatchScratch::new, |_, rng, scratch| {
+            sim.run_once_batched(&policy, rng, scratch).work_saved
+        });
+        let tol = 4.0 * (scalar.std_error.powi(2) + batched.std_error.powi(2)).sqrt();
+        assert!(
+            (scalar.mean - batched.mean).abs() < tol,
+            "scalar {} vs batched {} (tol {tol})",
+            scalar.mean,
+            batched.mean
+        );
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! numbers would not be checkable.
 
 use resq::core::policy::ThresholdWorkflowPolicy;
-use resq::dist::{Normal, Truncated, Xoshiro256pp};
-use resq::sim::{run_trials, run_trials_with, MonteCarloConfig, WorkflowSim};
+use resq::dist::{Gamma, Normal, Truncated, Uniform, Xoshiro256pp};
+use resq::sim::{
+    run_trials, run_trials_batched, run_trials_with, BatchScratch, MonteCarloConfig, WorkflowSim,
+};
 
 type TN = Truncated<Normal>;
 
@@ -154,6 +156,171 @@ fn span_structure_is_thread_count_invariant() {
             base,
             structure(threads),
             "span structure differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn batched_monte_carlo_bit_identical_across_thread_counts() {
+    // The batched runner inherits the scalar runner's determinism
+    // contract wholesale: per-trial streams, chunk-ordered merges, and
+    // per-chunk scratch that is reset per trial. Thread count must not
+    // leak into a single bit of the summary.
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let run = |threads: usize| {
+        run_trials_batched(
+            MonteCarloConfig {
+                trials: 30_000,
+                seed: 99,
+                threads,
+            },
+            &resq::obs::NullSink,
+            0,
+            BatchScratch::new,
+            |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+        )
+    };
+    let base = run(1);
+    for threads in [2usize, max_threads] {
+        let other = run(threads);
+        assert_eq!(
+            base.mean.to_bits(),
+            other.mean.to_bits(),
+            "batched mean differs at {threads} threads"
+        );
+        assert_eq!(base.std_dev.to_bits(), other.std_dev.to_bits());
+        assert_eq!(base.min.to_bits(), other.min.to_bits());
+        assert_eq!(base.max.to_bits(), other.max.to_bits());
+    }
+}
+
+#[test]
+fn batched_event_log_bit_identical_across_thread_counts() {
+    use resq::obs::MemorySink;
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let run = |threads: usize| {
+        let sink = MemorySink::new();
+        let summary = run_trials_batched(
+            MonteCarloConfig {
+                trials: 25_000,
+                seed: 99,
+                threads,
+            },
+            &sink,
+            1_000,
+            BatchScratch::new,
+            |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+        );
+        (summary, sink.lines())
+    };
+    let (base_summary, base_log) = run(1);
+    assert!(!base_log.is_empty());
+    for threads in [2usize, max_threads] {
+        let (summary, log) = run(threads);
+        assert_eq!(
+            base_summary.mean.to_bits(),
+            summary.mean.to_bits(),
+            "batched summary differs at {threads} threads"
+        );
+        assert_eq!(base_log, log, "batched event log differs at {threads} threads");
+    }
+}
+
+#[test]
+fn batch_toggle_is_bit_transparent_for_order_preserving_laws() {
+    // For laws whose batch kernels preserve draw order (Gamma task via
+    // the default kernel, Uniform checkpoint via buffered uniforms),
+    // `--batch` must be invisible in the results: the batched runner
+    // over-draws into scratch, but every draw the scalar path makes
+    // sits at the same stream position, so outcomes agree bitwise.
+    // (Truncated-Normal laws take the rejection kernel and only agree
+    // statistically — covered by the workflow crate's own tests.)
+    use resq::sim::run_trials_observed;
+
+    let s = WorkflowSim {
+        reservation: 29.0,
+        task: Gamma::new(9.0, 1.0 / 3.0).unwrap(),
+        ckpt: Uniform::new(4.0, 6.0).unwrap(),
+    };
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let cfg = MonteCarloConfig {
+        trials: 20_000,
+        seed: 99,
+        threads: 2,
+    };
+    use resq::obs::MemorySink;
+    let scalar_sink = MemorySink::new();
+    let scalar = run_trials_observed(cfg, &scalar_sink, 1_000, |_, rng| {
+        s.run_once(&policy, rng).work_saved
+    });
+    let batched_sink = MemorySink::new();
+    let batched = run_trials_batched(
+        cfg,
+        &batched_sink,
+        1_000,
+        BatchScratch::new,
+        |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+    );
+    assert_eq!(scalar.mean.to_bits(), batched.mean.to_bits());
+    assert_eq!(scalar.std_dev.to_bits(), batched.std_dev.to_bits());
+    assert_eq!(scalar.min.to_bits(), batched.min.to_bits());
+    assert_eq!(scalar.max.to_bits(), batched.max.to_bits());
+    assert_eq!(
+        scalar_sink.lines(),
+        batched_sink.lines(),
+        "batch on/off changed the event log for order-preserving laws"
+    );
+}
+
+#[test]
+fn batched_span_structure_is_thread_count_invariant() {
+    // Same contract as the scalar span-structure test, with the batched
+    // runner's own chunk span: a batched run records `sim/mc/batch`
+    // (never `sim/mc/chunk`), once per chunk, regardless of threads.
+    use resq::obs::span::{self, SpanRegistry};
+    use resq::obs::NullSink;
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let structure = |threads: usize| {
+        let registry = SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            run_trials_batched(
+                MonteCarloConfig {
+                    trials: 25_000,
+                    seed: 99,
+                    threads,
+                },
+                &NullSink,
+                0,
+                BatchScratch::new,
+                |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+            );
+        }
+        registry.structure()
+    };
+    let base = structure(1);
+    let paths: Vec<&str> = base.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(paths, vec!["sim/mc", "sim/mc/batch"]);
+    let chunk_count = base.iter().find(|(p, _)| p == "sim/mc/batch").unwrap().1;
+    assert_eq!(chunk_count, 25_000u64.div_ceil(resq::sim::CHUNK));
+    for threads in [2usize, 3, 5, 8] {
+        assert_eq!(
+            base,
+            structure(threads),
+            "batched span structure differs at {threads} threads"
         );
     }
 }

@@ -2,9 +2,34 @@
 //! must hold for *any* valid parameters, not just the figures'.
 
 use proptest::prelude::*;
-use resq::dist::{Gamma, Normal, Truncated, Uniform};
+use resq::dist::{Exponential, Gamma, Normal, Sample, Truncated, Uniform, Xoshiro256pp};
+use resq::sim::stats::Welford;
 use resq::sim::{PreemptibleSim, WorkflowSim};
 use resq::{DynamicStrategy, FixedLeadPolicy, Preemptible, StaticStrategy};
+
+/// Asserts that for a draw-order-preserving law, filling a buffer in two
+/// `sample_batch` calls split at `k` consumes the RNG stream exactly like
+/// `n` scalar draws — the contract that lets the batched Monte-Carlo
+/// runner stay bit-identical to the scalar one for these laws.
+fn assert_split_batch_matches_scalar<D: Sample>(name: &str, law: &D, seed: u64, n: usize, k: usize) {
+    let mut scalar_rng = Xoshiro256pp::new(seed);
+    let scalar: Vec<f64> = (0..n).map(|_| law.sample(&mut scalar_rng)).collect();
+
+    let mut batch_rng = Xoshiro256pp::new(seed);
+    let mut batch = vec![0.0f64; n];
+    let (head, tail) = batch.split_at_mut(k);
+    law.sample_batch(&mut batch_rng, head);
+    law.sample_batch(&mut batch_rng, tail);
+
+    assert_eq!(scalar, batch, "{name}: split batch at {k}/{n} diverged from scalar draws");
+    // Both consumers must leave the stream at the same position: one
+    // more draw from each side still agrees bitwise.
+    assert_eq!(
+        law.sample(&mut scalar_rng),
+        law.sample(&mut batch_rng),
+        "{name}: stream positions diverged after {n} draws"
+    );
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -129,6 +154,79 @@ proptest! {
                 prop_assert!(!d.should_checkpoint((w_int - 0.3).max(0.0)));
                 prop_assert!(d.should_checkpoint(w_int + 0.3));
             }
+        }
+    }
+
+    /// Draw-order-preserving batch kernels are bit-identical to scalar
+    /// draws, for any buffer split — covering the default loop kernel
+    /// (Gamma), the buffered-uniform kernels (Uniform, Exponential) and
+    /// the truncated inversion regime (low-mass Truncated).
+    #[test]
+    fn split_batch_equals_scalar_for_order_preserving_laws(
+        seed in 0u64..1000,
+        n in 1usize..200,
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((n as f64) * k_frac) as usize;
+        assert_split_batch_matches_scalar(
+            "gamma (default kernel)",
+            &Gamma::new(9.0, 1.0 / 3.0).unwrap(),
+            seed, n, k,
+        );
+        assert_split_batch_matches_scalar(
+            "uniform (buffered kernel)",
+            &Uniform::new(1.0, 7.5).unwrap(),
+            seed, n, k,
+        );
+        assert_split_batch_matches_scalar(
+            "exponential (buffered kernel)",
+            &Exponential::new(0.5).unwrap(),
+            seed, n, k,
+        );
+        assert_split_batch_matches_scalar(
+            "truncated normal (inversion regime)",
+            &Truncated::new(Normal::new(0.0, 1.0).unwrap(), 2.0, 3.0).unwrap(),
+            seed, n, k,
+        );
+    }
+
+    /// Welford merging is associative enough for determinism: folding a
+    /// sample in any chunking (sizes AND order fixed by chunk index, as
+    /// the Monte-Carlo runner does) gives the same mean/variance as the
+    /// serial fold, to floating-point noise.
+    #[test]
+    fn welford_chunk_merges_are_chunking_invariant(
+        seed in 0u64..1000,
+        n in 2usize..400,
+        chunk_a in 1usize..64,
+        chunk_b in 1usize..64,
+    ) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let law = Gamma::new(2.0, 1.5).unwrap();
+        let data = law.sample_vec(&mut rng, n);
+
+        let fold = |chunk: usize| {
+            let mut total = Welford::new();
+            for piece in data.chunks(chunk) {
+                let mut w = Welford::new();
+                for &x in piece {
+                    w.add(x);
+                }
+                total.merge(&w);
+            }
+            total
+        };
+        let serial = fold(usize::MAX.min(n));
+        let a = fold(chunk_a);
+        let b = fold(chunk_b);
+        for w in [&a, &b] {
+            prop_assert_eq!(w.count(), serial.count());
+            let scale = serial.mean().abs().max(1.0);
+            prop_assert!((w.mean() - serial.mean()).abs() <= 1e-12 * scale,
+                "mean {} vs serial {}", w.mean(), serial.mean());
+            let vscale = serial.variance().abs().max(1.0);
+            prop_assert!((w.variance() - serial.variance()).abs() <= 1e-10 * vscale,
+                "variance {} vs serial {}", w.variance(), serial.variance());
         }
     }
 
