@@ -15,6 +15,7 @@ fn main() {
         exp::exp_campaign(canonical::CAMPAIGN_TRIALS),
         exp::exp_trace_learning(),
         exp::exp_general_instance(canonical::GENERAL_INSTANCE_TRIALS),
+        exp::exp_retry_sweep(canonical::RETRY_SWEEP_TRIALS),
     ];
     let mut failed = 0usize;
     let mut total = 0usize;

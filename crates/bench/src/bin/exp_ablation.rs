@@ -51,7 +51,7 @@ fn main() {
     let mut rows = Vec::new();
     println!("   {:>8} {:>12}", "R", "W_int");
     for r in [25.0f64, 27.0, 29.0, 31.0, 35.0, 40.0] {
-        let d = DynamicStrategy::new(task.clone(), ckpt(5.0, 0.4), r).unwrap();
+        let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), r).unwrap();
         let w = d.threshold().unwrap();
         println!("   {r:>8.1} {w:>12.4}");
         rows.push(vec![r, w]);

@@ -1,0 +1,8 @@
+//! Extension experiment: failure-aware final-checkpoint planning under
+//! unreliable checkpoint writes — see `experiments::exp_retry_sweep`.
+
+fn main() {
+    resq_bench::report::finish(resq_bench::experiments::exp_retry_sweep(
+        resq_bench::experiments::canonical::RETRY_SWEEP_TRIALS,
+    ));
+}

@@ -38,6 +38,8 @@ pub mod canonical {
     pub const CAMPAIGN_TRIALS: u64 = 3_000;
     /// Trials for [`super::exp_general_instance`].
     pub const GENERAL_INSTANCE_TRIALS: u64 = 150_000;
+    /// Trials per sweep point for [`super::exp_retry_sweep`].
+    pub const RETRY_SWEEP_TRIALS: u64 = 200_000;
 }
 
 /// `exp_gain_sweep`: how much the optimal §3 plan gains over the
@@ -108,13 +110,13 @@ pub fn exp_policy_mc(trials: u64) -> FigureResult {
     // R − C, quantized to task boundaries — approximated by R − E[C].
     let sim = WorkflowSim {
         reservation: r,
-        task: task.clone(),
-        ckpt: c.clone(),
+        task,
+        ckpt: c,
     };
     let static_strategy =
-        StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), c.clone(), r).unwrap();
+        StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), c, r).unwrap();
     let static_plan = static_strategy.optimize();
-    let dynamic = DynamicStrategy::new(task.clone(), c.clone(), r).unwrap();
+    let dynamic = DynamicStrategy::new(task, c, r).unwrap();
     let w_int = dynamic.threshold().unwrap();
 
     let s_static = run_trials(cfg, |_, rng| {
@@ -197,13 +199,13 @@ pub fn exp_dynamic_vs_static(trials: u64) -> FigureResult {
         let task = Truncated::above(Normal::new(3.0, sigma).unwrap(), 0.0).unwrap();
         let sim = WorkflowSim {
             reservation: r,
-            task: task.clone(),
-            ckpt: c.clone(),
+            task,
+            ckpt: c,
         };
-        let static_plan = StaticStrategy::new(Normal::new(3.0, sigma).unwrap(), c.clone(), r)
+        let static_plan = StaticStrategy::new(Normal::new(3.0, sigma).unwrap(), c, r)
             .unwrap()
             .optimize();
-        let w_int = DynamicStrategy::new(task, c.clone(), r)
+        let w_int = DynamicStrategy::new(task, c, r)
             .unwrap()
             .threshold()
             .unwrap();
@@ -263,7 +265,7 @@ pub fn exp_campaign(trials: u64) -> FigureResult {
     let task = Truncated::above(Normal::new(3.0, 0.8).unwrap(), 0.0).unwrap();
     let c = ckpt(5.0, 0.6);
     let recovery = ckpt(4.0, 0.3);
-    let w_int = DynamicStrategy::new(task.clone(), c.clone(), r - 4.0)
+    let w_int = DynamicStrategy::new(task, c, r - 4.0)
         .unwrap()
         .threshold()
         .unwrap();
@@ -500,6 +502,117 @@ pub fn exp_general_instance(trials: u64) -> FigureResult {
     }
 }
 
+/// `exp_retry_sweep`: what unreliable checkpoint writes cost, and what
+/// planning for them buys. On the Fig-1(a) geometry (C ~ Uniform(1,7.5),
+/// R = 10) with up to 3 immediate retries, sweep the per-attempt write
+/// failure probability q and compare three lead-time choices:
+///
+/// * **aware** — `RetryPreemptible::optimize()`, which knows q;
+/// * **naive** — the failure-free optimum X = 5.5 run under failures;
+/// * **pessimistic** — X = C_max = 7.5 run under failures.
+///
+/// Each analytic `aware` value is cross-checked against the
+/// fault-injected Monte-Carlo simulator at the same lead time: the
+/// |sim − analytic| gap must sit inside a 99.9% CI plus the documented
+/// lattice tolerance (docs/KNOWN_ISSUES.md).
+pub fn exp_retry_sweep(trials: u64) -> FigureResult {
+    use resq::sim::{ReliabilityInjector, RetryPreemptibleSim};
+    use resq::{CheckpointReliability, RetryPolicy, RetryPreemptible};
+
+    let r = 10.0;
+    let law = Uniform::new(1.0, 7.5).unwrap();
+    let retry = RetryPolicy::Immediate { max_attempts: 3 };
+    let x_free = 5.5; // failure-free optimum (paper Fig 1a)
+    let x_pess = 7.5; // pessimistic X = C_max
+
+    let mut rows = Vec::new();
+    let mut worst_margin = f64::INFINITY;
+    let mut worst_mc_excess: f64 = 0.0;
+    let mut q0_lead = f64::NAN;
+    let mut q0_work = f64::NAN;
+    for (i, &q) in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5].iter().enumerate() {
+        let reliability = CheckpointReliability::PerAttempt { p: 1.0 - q };
+        let model = RetryPreemptible::new(law, r, reliability, retry).unwrap();
+        let plan = model.optimize();
+        let e_naive = model.expected_work(x_free);
+        let e_pess = model.expected_work(x_pess);
+        worst_margin = worst_margin
+            .min(plan.expected_work - e_naive)
+            .min(plan.expected_work - e_pess);
+        if q == 0.0 {
+            q0_lead = plan.lead_time;
+            q0_work = plan.expected_work;
+        }
+
+        let sim = RetryPreemptibleSim {
+            reservation: r,
+            ckpt: law,
+            injector: ReliabilityInjector::new(reliability, 0.0).unwrap(),
+            retry,
+        };
+        let mc = sim.mean_work_saved(plan.lead_time, trials, 77 + i as u64);
+        // 99.9% CI plus the lattice interpolation tolerance the analytic
+        // fallback is documented to hold (exact profiles need none, but
+        // one bound keeps the anchor uniform across the sweep).
+        let bound = 3.29 * mc.std_error + 4e-3;
+        worst_mc_excess = worst_mc_excess.max((mc.mean - plan.expected_work).abs() - bound);
+
+        rows.push(vec![
+            q,
+            plan.lead_time,
+            plan.expected_work,
+            e_naive,
+            e_pess,
+            mc.mean,
+            mc.std_error,
+        ]);
+    }
+
+    let csv = results_dir().join("exp_retry_sweep.csv");
+    write_csv(
+        &csv,
+        "exp_retry_sweep",
+        &[
+            "ckpt_fail_prob",
+            "x_aware",
+            "e_aware",
+            "e_naive_x5.5",
+            "e_pessimistic_x7.5",
+            "mc_mean",
+            "mc_std_error",
+        ],
+        rows,
+    )
+    .unwrap();
+
+    FigureResult {
+        id: "exp_retry_sweep".into(),
+        title: "failure-aware lead time vs failure-free and pessimistic baselines (unreliable writes)".into(),
+        anchors: vec![
+            Anchor::new("q=0 lead time is the paper X_opt", 5.5, q0_lead, 1e-6),
+            Anchor::new(
+                "q=0 expected work is the paper optimum",
+                3.1153846153846154,
+                q0_work,
+                1e-6,
+            ),
+            Anchor::new(
+                "aware dominates both baselines (worst margin, clamped)",
+                0.0,
+                worst_margin.min(0.0),
+                1e-9,
+            ),
+            Anchor::new(
+                "MC within 99.9% CI of analytic (worst excess)",
+                0.0,
+                worst_mc_excess.max(0.0),
+                1e-12,
+            ),
+        ],
+        csv: Some(csv),
+    }
+}
+
 /// Quick Monte-Carlo validation that a fixed-lead §3 policy realizes its
 /// analytic expectation — used by `all_figures` as a smoke check.
 pub fn preemptible_mc_smoke(trials: u64) -> Anchor {
@@ -549,5 +662,10 @@ mod tests {
     #[test]
     fn preemptible_smoke_passes() {
         assert!(preemptible_mc_smoke(100_000).passes());
+    }
+
+    #[test]
+    fn retry_sweep_passes_small() {
+        assert!(exp_retry_sweep(40_000).passes());
     }
 }

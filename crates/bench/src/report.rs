@@ -98,6 +98,7 @@ fn default_results_dir() -> PathBuf {
     std::env::temp_dir().join(format!("resq-bench-test-results-{}", std::process::id()))
 }
 
+#[cfg(not(test))]
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench → two levels up.
     let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());

@@ -11,11 +11,11 @@ pub mod spec;
 /// Actions of the `resq obs` subcommand family, in the order they are
 /// documented. `tests/docs_sync.rs` checks the observability guide
 /// covers each one.
-pub const OBS_ACTIONS: &'static [&'static str] = &["summarize", "diff"];
+pub const OBS_ACTIONS: &[&str] = &["summarize", "diff"];
 
 /// Accepted values of `--metrics-format`, first entry is the default
 /// (also what bare `--metrics` selects).
-pub const METRICS_FORMATS: &'static [&'static str] = &["summary", "prometheus", "json"];
+pub const METRICS_FORMATS: &[&str] = &["summary", "prometheus", "json"];
 
 /// The `resq` usage text — the single source of truth for subcommands
 /// and flags. `tests/docs_sync.rs` checks every `resq` invocation in the
@@ -45,6 +45,12 @@ COMMANDS:
       [--batch]                    chunk-buffered batched sampling fast path
                                    (same estimates; bit-identical for laws
                                    whose batch kernel preserves draw order)
+      [--ckpt-fail-prob <q>=0]     each checkpoint write attempt fails with
+                                   probability q (fault injection)
+      [--retry <spec>=immediate:3] what to do after a failed write:
+                                   none | immediate:K | backoff:K,D | workon
+      [--failstop-rate <lambda>=0] Poisson fail-stop errors that kill the
+                                   reservation (single-shot, no recovery)
   learn             learn the checkpoint law from a JSONL trace (paper: \"learned
                     from traces of previous checkpoints\") and plan
       --trace <file.jsonl>  --reservation <R>

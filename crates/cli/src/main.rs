@@ -16,12 +16,12 @@
 use resq::dist::{Distribution, Xoshiro256pp};
 use resq::obs::{event_type, Event, JsonlSink, NullSink, RunManifest, RunSink};
 use resq::sim::{
-    run_trials, run_trials_batched, run_trials_observed, BatchScratch, MonteCarloConfig,
-    WorkflowSim,
+    run_trials, run_trials_batched, run_trials_observed, BatchScratch, FaultyWorkflowSim,
+    MonteCarloConfig, ReliabilityInjector, WorkflowSim,
 };
-use resq::{ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
+use resq::{CheckpointReliability, ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
 use resq_cli::args::{ArgError, Args};
-use resq_cli::spec::{parse_law, DynLaw, LawSpec};
+use resq_cli::spec::{parse_law, parse_retry, DynLaw, LawSpec};
 use resq_cli::{METRICS_FORMATS, OBS_ACTIONS, USAGE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -306,6 +306,15 @@ fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
 }
 
 fn simulate(args: &Args) -> Result<(), ArgError> {
+    // Any fault-injection flag switches to the fault-injected kernel;
+    // without them the plain path below is taken unchanged (and its
+    // event logs stay byte-identical to previous releases).
+    if args.f64_or("ckpt-fail-prob", 0.0)? != 0.0
+        || args.f64_or("failstop-rate", 0.0)? != 0.0
+        || args.get("retry").is_some()
+    {
+        return simulate_faulty(args);
+    }
     let r = args.require_f64("reservation")?;
     let ckpt = continuous(args, "ckpt")?;
     let task = continuous(args, "task")?;
@@ -438,6 +447,193 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
             .config("threshold", threshold)
             .config("sample_every", sample_every)
             .config("batch", batch)
+            .seed(seed)
+            .threads(resolved_threads)
+            .trials(trials),
+    )
+}
+
+/// `resq simulate` with fault injection: unreliable checkpoint writes
+/// (`--ckpt-fail-prob`), a retry policy (`--retry`) and optional
+/// fail-stop errors (`--failstop-rate`). Same observability shape as the
+/// plain path, plus `retry-outcome` rows for sampled trials and the
+/// `ckpt_attempts_total` / `ckpt_failures_total` counter deltas echoed
+/// in the manifest.
+fn simulate_faulty(args: &Args) -> Result<(), ArgError> {
+    let r = args.require_f64("reservation")?;
+    let ckpt = continuous(args, "ckpt")?;
+    let task = continuous(args, "task")?;
+    let threshold = args.require_f64("threshold")?;
+    let trials = args.u64_or("trials", 100_000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.u64_or("threads", 0)? as usize;
+    let sample_every = args.u64_or("sample-every", 10_000)?;
+    let progress = args.bool_flag("progress");
+    let batch = args.bool_flag("batch");
+    let q = args.f64_or("ckpt-fail-prob", 0.0)?;
+    if !(0.0..1.0).contains(&q) {
+        return Err(ArgError(format!(
+            "flag `--ckpt-fail-prob` must be in [0, 1), got {q}"
+        )));
+    }
+    let failstop_rate = args.f64_or("failstop-rate", 0.0)?;
+    let retry_raw = args.get("retry").unwrap_or("immediate:3");
+    let retry = parse_retry(retry_raw)?;
+    let reliability = if q > 0.0 {
+        CheckpointReliability::PerAttempt { p: 1.0 - q }
+    } else {
+        CheckpointReliability::Reliable
+    };
+    let injector =
+        ReliabilityInjector::new(reliability, failstop_rate).map_err(|e| ArgError(e.to_string()))?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "simulate")
+            .str("task", args.require("task")?)
+            .str("ckpt", args.require("ckpt")?)
+            .f64("reservation", r)
+            .f64("threshold", threshold)
+            .u64("trials", trials)
+            .u64("seed", seed)
+            .u64("sample_every", sample_every)
+            .bool("batch", batch)
+            .f64("ckpt_fail_prob", q)
+            .str("retry", retry_raw)
+            .f64("failstop_rate", failstop_rate),
+    );
+    let sim = FaultyWorkflowSim {
+        reservation: r,
+        task,
+        ckpt,
+        injector,
+        retry,
+    };
+    let policy = resq::core::policy::ThresholdWorkflowPolicy { threshold };
+    let cfg = MonteCarloConfig {
+        trials,
+        seed,
+        threads,
+    };
+    let tick = (trials / 20).max(1);
+    let done = AtomicU64::new(0);
+    let note_progress = || {
+        if progress {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if d % tick == 0 {
+                eprintln!("progress          : {d}/{trials} trials");
+            }
+        }
+    };
+    // Counter deltas for the main pass only (the success-rate and
+    // replay passes below re-run trials and would double-count).
+    let attempts_before = resq::obs::metrics::CKPT_ATTEMPTS_TOTAL.get();
+    let failures_before = resq::obs::metrics::CKPT_FAILURES_TOTAL.get();
+    let saved = if batch {
+        run_trials_batched(
+            cfg,
+            obs.sink.as_ref(),
+            sample_every,
+            BatchScratch::new,
+            |_, rng, scratch| {
+                note_progress();
+                sim.run_once_batched(&policy, rng, scratch).outcome.work_saved
+            },
+        )
+    } else {
+        run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+            note_progress();
+            sim.run_once(&policy, rng).outcome.work_saved
+        })
+    };
+    let ckpt_attempts = resq::obs::metrics::CKPT_ATTEMPTS_TOTAL.get() - attempts_before;
+    let ckpt_failures = resq::obs::metrics::CKPT_FAILURES_TOTAL.get() - failures_before;
+    // Success/kill rates re-run the same trial streams with the same
+    // kernel, so they agree exactly with the main pass.
+    let success = run_trials(cfg, |_, rng| {
+        let o = if batch {
+            sim.run_once_batched(&policy, rng, &mut BatchScratch::new())
+        } else {
+            sim.run_once(&policy, rng)
+        };
+        o.outcome.checkpoint_succeeded as u64 as f64
+    });
+    let killed = run_trials(cfg, |_, rng| {
+        let o = if batch {
+            sim.run_once_batched(&policy, rng, &mut BatchScratch::new())
+        } else {
+            sim.run_once(&policy, rng)
+        };
+        o.killed_by_failstop as u64 as f64
+    });
+    // Sampled-trial decision + retry rows, re-derived serially in index
+    // order so the log stays deterministic (same discipline as the
+    // plain path).
+    if obs.sink.enabled() && sample_every > 0 {
+        let mut scratch = BatchScratch::new();
+        let mut i = 0;
+        while i < trials {
+            let mut rng = Xoshiro256pp::for_stream(seed, i);
+            let o = if batch {
+                sim.run_once_batched(&policy, &mut rng, &mut scratch)
+            } else {
+                sim.run_once(&policy, &mut rng)
+            };
+            obs.emit(
+                Event::new(event_type::CHECKPOINT_DECISION)
+                    .u64("trial", i)
+                    .f64("threshold", threshold)
+                    .f64("work_at_checkpoint", o.outcome.work_at_checkpoint)
+                    .u64("tasks_completed", o.outcome.tasks_completed)
+                    .bool("attempted", o.outcome.checkpoint_attempted)
+                    .bool("succeeded", o.outcome.checkpoint_succeeded),
+            );
+            obs.emit(o.retry_event(i));
+            i += sample_every;
+        }
+    }
+    let (lo, hi) = saved.ci95();
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("trials", saved.n)
+            .f64("mean_saved_work", saved.mean)
+            .f64("std_error", saved.std_error)
+            .f64("ci95_lo", lo)
+            .f64("ci95_hi", hi)
+            .f64("success_rate", success.mean)
+            .f64("failstop_rate_observed", killed.mean)
+            .u64("ckpt_attempts", ckpt_attempts)
+            .u64("ckpt_failures", ckpt_failures)
+            .f64("min_saved", saved.min)
+            .f64("max_saved", saved.max),
+    );
+    println!("trials            : {trials} (seed {seed})");
+    println!(
+        "fault model       : write fails w.p. {q}, retry {retry_raw}, fail-stop rate {failstop_rate}"
+    );
+    println!("mean saved work   : {:.4}  (95% CI [{lo:.4}, {hi:.4}])", saved.mean);
+    println!("success rate      : {:.4}", success.mean);
+    println!("killed by failstop: {:.4}", killed.mean);
+    println!("ckpt attempts     : {ckpt_attempts} total, {ckpt_failures} failed");
+    println!("min / max saved   : {:.4} / {:.4}", saved.min, saved.max);
+    let resolved_threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    obs.finish(
+        RunManifest::new("resq simulate")
+            .config("task", args.require("task")?)
+            .config("ckpt", args.require("ckpt")?)
+            .config("reservation", r)
+            .config("threshold", threshold)
+            .config("sample_every", sample_every)
+            .config("batch", batch)
+            .config("ckpt_fail_prob", q)
+            .config("retry", retry_raw)
+            .config("failstop_rate", failstop_rate)
+            .config("ckpt_attempts_total", ckpt_attempts)
+            .config("ckpt_failures_total", ckpt_failures)
             .seed(seed)
             .threads(resolved_threads)
             .trials(trials),

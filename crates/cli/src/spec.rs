@@ -233,6 +233,52 @@ pub fn parse_law(raw: &str) -> Result<LawSpec, ArgError> {
     Ok(LawSpec::Continuous(law))
 }
 
+/// Parses a retry-policy spec for `resq simulate --retry`:
+/// `none` (single attempt), `immediate:K`, `backoff:K,D` (delay `D`
+/// between attempts), or `workon` (give up and work on after a failed
+/// write).
+pub fn parse_retry(raw: &str) -> Result<resq::RetryPolicy, ArgError> {
+    let policy = match raw.split_once(':') {
+        None => match raw {
+            "none" => resq::RetryPolicy::Immediate { max_attempts: 1 },
+            "workon" => resq::RetryPolicy::GiveUpAndWorkOn,
+            other => {
+                return Err(err(format!(
+                    "unknown retry policy `{other}` (expected none/immediate:K/backoff:K,D/workon)"
+                )))
+            }
+        },
+        Some(("immediate", k)) => resq::RetryPolicy::Immediate {
+            max_attempts: k
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad attempt count `{k}` in retry spec")))?,
+        },
+        Some(("backoff", params)) => {
+            let (k, d) = params
+                .split_once(',')
+                .ok_or_else(|| err(format!("retry `backoff:{params}` must be `backoff:K,D`")))?;
+            resq::RetryPolicy::Backoff {
+                max_attempts: k
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad attempt count `{k}` in retry spec")))?,
+                delay: d
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad backoff delay `{d}` in retry spec")))?,
+            }
+        }
+        Some((other, _)) => {
+            return Err(err(format!(
+                "unknown retry policy `{other}` (expected none/immediate:K/backoff:K,D/workon)"
+            )))
+        }
+    };
+    policy.validate().map_err(|e| err(e.to_string()))?;
+    Ok(policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +296,37 @@ mod tests {
             assert!(matches!(parse_law(raw), Ok(LawSpec::Continuous(_))), "{raw}");
         }
         assert!(matches!(parse_law("poisson:3"), Ok(LawSpec::Poisson(_))));
+    }
+
+    #[test]
+    fn parses_retry_specs() {
+        assert_eq!(
+            parse_retry("none").unwrap(),
+            resq::RetryPolicy::Immediate { max_attempts: 1 }
+        );
+        assert_eq!(
+            parse_retry("immediate:3").unwrap(),
+            resq::RetryPolicy::Immediate { max_attempts: 3 }
+        );
+        assert_eq!(
+            parse_retry("backoff:4,0.5").unwrap(),
+            resq::RetryPolicy::Backoff {
+                max_attempts: 4,
+                delay: 0.5
+            }
+        );
+        assert_eq!(parse_retry("workon").unwrap(), resq::RetryPolicy::GiveUpAndWorkOn);
+        for bad in [
+            "immediate:0",
+            "immediate:x",
+            "backoff:2",
+            "backoff:2,-1",
+            "exponential",
+            "",
+            "backoff:,",
+        ] {
+            assert!(parse_retry(bad).is_err(), "`{bad}` should be rejected");
+        }
     }
 
     #[test]

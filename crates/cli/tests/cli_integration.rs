@@ -148,6 +148,107 @@ fn simulate_observability_end_to_end() {
 }
 
 #[test]
+fn simulate_fault_injection_logs_retry_outcomes_and_counters() {
+    // The fault-injected path: retry-outcome rows ride along with the
+    // sampled checkpoint-decision rows, the run-finished row and the
+    // manifest both echo the attempt/failure counters, and the stdout
+    // summary names the fault model.
+    let dir = std::env::temp_dir().join("resq-cli-int-fault");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("faulty.jsonl");
+    let out = resq(&[
+        "simulate",
+        "--task",
+        "normal:3,0.5@0,",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+        "--threshold",
+        "20.3",
+        "--trials",
+        "4000",
+        "--sample-every",
+        "500",
+        "--ckpt-fail-prob",
+        "0.3",
+        "--retry",
+        "backoff:3,0.25",
+        "--log-json",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let mut retry_rows = 0usize;
+    let mut decision_rows = 0usize;
+    for line in text.lines() {
+        let row = resq::obs::json::parse(line).expect("log line is valid JSON");
+        match row.get("type").and_then(|t| t.as_str()).unwrap() {
+            "retry-outcome" => {
+                retry_rows += 1;
+                assert!(row.get("attempts").unwrap().as_u64().unwrap() >= 1);
+                assert!(row.get("failures").is_some() && row.get("succeeded").is_some());
+            }
+            "checkpoint-decision" => decision_rows += 1,
+            "run-finished" => {
+                assert!(row.get("ckpt_attempts").unwrap().as_u64().unwrap() >= 4000);
+                assert!(row.get("ckpt_failures").unwrap().as_u64().unwrap() > 0);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(retry_rows, decision_rows, "one retry row per sampled trial");
+    assert!(retry_rows > 0, "no retry-outcome rows in:\n{text}");
+
+    let manifest_path = dir.join("faulty.manifest.json");
+    let manifest =
+        resq::obs::json::parse(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    let config = manifest.get("config").unwrap();
+    assert_eq!(config.get("ckpt_fail_prob").unwrap().as_str(), Some("0.3"));
+    assert_eq!(config.get("retry").unwrap().as_str(), Some("backoff:3,0.25"));
+    assert!(config.get("ckpt_attempts_total").is_some());
+    assert!(config.get("ckpt_failures_total").is_some());
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault model"), "{stdout}");
+    assert!(stdout.contains("ckpt attempts"), "{stdout}");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&manifest_path).ok();
+}
+
+#[test]
+fn simulate_rejects_out_of_range_fault_flags() {
+    let base = [
+        "simulate",
+        "--task",
+        "normal:3,0.5@0,",
+        "--ckpt",
+        "normal:5,0.4@0,",
+        "--reservation",
+        "29",
+        "--threshold",
+        "20.3",
+        "--trials",
+        "10",
+    ];
+    let mut args = base.to_vec();
+    args.extend(["--ckpt-fail-prob", "1.5"]);
+    let out = resq(&args);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ckpt-fail-prob"), "{err}");
+
+    let mut args = base.to_vec();
+    args.extend(["--retry", "sometimes"]);
+    let out = resq(&args);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("retry"), "{err}");
+}
+
+#[test]
 fn bad_flags_fail_with_usage_on_stderr() {
     let out = resq(&["plan-preemptible", "--reservation", "10"]);
     assert!(!out.status.success());

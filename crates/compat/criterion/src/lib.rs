@@ -162,6 +162,18 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one benchmark parameterized by `input` (mirror of
+    /// criterion's `bench_with_input`; the input is simply borrowed by
+    /// the closure — no per-input setup machinery).
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
     /// Ends the group (separator line, matching criterion's API).
     pub fn finish(&mut self) {
         println!();

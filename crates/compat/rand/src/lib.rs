@@ -120,7 +120,7 @@ mod tests {
     fn traits_are_object_and_ref_safe() {
         let mut rng = Lcg(7);
         let r: &mut dyn RngCore = &mut rng;
-        let mut by_ref = r;
+        let by_ref = r;
         assert_ne!(by_ref.next_u64(), by_ref.next_u64());
         let mut buf = [0u8; 3];
         by_ref.try_fill_bytes(&mut buf).unwrap();

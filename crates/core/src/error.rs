@@ -40,11 +40,19 @@ pub enum CoreError {
         /// Offending value.
         value: f64,
     },
+    /// A numerical routine (root finder, quadrature) failed to converge.
+    Numerics(resq_numerics::NumericsError),
 }
 
 impl From<DistError> for CoreError {
     fn from(e: DistError) -> Self {
         CoreError::Dist(e)
+    }
+}
+
+impl From<resq_numerics::NumericsError> for CoreError {
+    fn from(e: resq_numerics::NumericsError) -> Self {
+        CoreError::Numerics(e)
     }
 }
 
@@ -66,6 +74,7 @@ impl std::fmt::Display for CoreError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` out of domain: {value}")
             }
+            Self::Numerics(e) => write!(f, "{e}"),
         }
     }
 }
@@ -74,6 +83,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Dist(e) => Some(e),
+            Self::Numerics(e) => Some(e),
             _ => None,
         }
     }

@@ -35,6 +35,7 @@ pub mod controller;
 pub mod error;
 pub mod policy;
 pub mod preemptible;
+pub mod reliability;
 pub mod reservation;
 pub mod risk;
 pub mod workflow;
@@ -46,6 +47,10 @@ pub use policy::{
     PreemptiblePolicy, StaticWorkflowPolicy, WorkflowPolicy,
 };
 pub use preemptible::{CheckpointPlan, Preemptible};
+pub use reliability::{
+    exponential_retry_success, uniform_retry_success, CheckpointReliability, RetryDynamicStrategy,
+    RetryPolicy, RetryPreemptible, RetryStaticStrategy,
+};
 pub use reservation::{BillingModel, CampaignModel, ContinuationRule};
 pub use risk::RiskProfile;
 pub use workflow::convolution::ConvolutionStatic;

@@ -74,9 +74,11 @@ pub fn normal_x_opt(mu: f64, sigma: f64, a: f64, b: f64, r: f64) -> Result<f64, 
         let z = (x - mu) / sigma;
         norm_pdf(z) * (r - x) / sigma - (resq_specfun::norm_cdf(z) - phi_a)
     };
-    // g'(a) > 0 and g'(R) < 0 (paper, intermediate value theorem).
-    let c = resq_numerics::brent_root(gprime, a, r, 1e-12)
-        .expect("paper guarantees a sign change of g' on [a, R]");
+    // g'(a) > 0 and g'(R) < 0 (paper, intermediate value theorem) — but
+    // degenerate inputs (e.g. sigma so small the density underflows at
+    // both endpoints) can defeat the bracket, so the failure is a typed
+    // error rather than a panic.
+    let c = resq_numerics::brent_root(gprime, a, r, 1e-12)?;
     Ok(c.min(b))
 }
 
@@ -97,9 +99,9 @@ pub fn lognormal_x_opt(mu: f64, sigma: f64, a: f64, b: f64, r: f64) -> Result<f6
         let z = (x.ln() - mu) / sigma;
         norm_pdf(z) * (r - x) / (sigma * x) - (resq_specfun::norm_cdf(z) - phi_a)
     };
-    // Same IVT argument as the Normal case: g'(a) > 0, g'(R) < 0.
-    let c = resq_numerics::brent_root(gprime, a, r, 1e-12)
-        .expect("g' changes sign on [a, R] for the truncated LogNormal");
+    // Same IVT argument as the Normal case: g'(a) > 0, g'(R) < 0, with
+    // the same typed-error escape hatch for degenerate inputs.
+    let c = resq_numerics::brent_root(gprime, a, r, 1e-12)?;
     Ok(c.min(b))
 }
 
@@ -169,7 +171,7 @@ mod tests {
     fn exponential_huge_scale_does_not_overflow() {
         // λ(R−a) ≈ 2000: e^z overflows, asymptotic branch takes over.
         let x = exponential_x_opt(2.0, 1.0, 999.0, 1000.0).unwrap();
-        assert!(x.is_finite() && x >= 1.0 && x <= 999.0, "X_opt {x}");
+        assert!(x.is_finite() && (1.0..=999.0).contains(&x), "X_opt {x}");
         // Compare with generic optimizer.
         let c = Truncated::new(Exponential::new(2.0).unwrap(), 1.0, 999.0).unwrap();
         let m = Preemptible::new(c, 1000.0).unwrap();

@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn construction_validates() {
         let t = trunc_normal_task(3.0, 0.5);
-        assert!(DynamicStrategy::new(t.clone(), ckpt(5.0, 0.4), 29.0).is_ok());
-        assert!(DynamicStrategy::new(t.clone(), ckpt(5.0, 0.4), -1.0).is_err());
+        assert!(DynamicStrategy::new(t, ckpt(5.0, 0.4), 29.0).is_ok());
+        assert!(DynamicStrategy::new(t, ckpt(5.0, 0.4), -1.0).is_err());
         assert!(DynamicStrategy::new(t, Normal::new(5.0, 0.4).unwrap(), 29.0).is_err());
     }
 

@@ -86,7 +86,7 @@ proptest! {
         let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
         let cheap = Truncated::above(Normal::new(mu_c, 0.3).unwrap(), 0.0).unwrap();
         let costly = Truncated::above(Normal::new(mu_c + 2.0, 0.3).unwrap(), 0.0).unwrap();
-        let w_cheap = DynamicStrategy::new(task.clone(), cheap, r).unwrap().threshold().unwrap();
+        let w_cheap = DynamicStrategy::new(task, cheap, r).unwrap().threshold().unwrap();
         let w_costly = DynamicStrategy::new(task, costly, r).unwrap().threshold().unwrap();
         prop_assert!(w_costly < w_cheap, "costly {w_costly} !< cheap {w_cheap}");
     }
@@ -100,7 +100,7 @@ proptest! {
         r in 10.0f64..40.0,
     ) {
         let ckpt = Truncated::above(Normal::new(mu_c, 0.2 * mu_c).unwrap(), 0.0).unwrap();
-        let m = DeterministicWorkflow::new(t, ckpt.clone(), r).unwrap();
+        let m = DeterministicWorkflow::new(t, ckpt, r).unwrap();
         let plan = m.optimize();
         let k_max = (r / t).floor() as u64;
         let mut prev_succ = f64::INFINITY;

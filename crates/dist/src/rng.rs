@@ -25,8 +25,10 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
-    /// Next 64-bit output.
+    /// Next 64-bit output. The name follows Vigna's reference
+    /// implementation, not `Iterator` (an RNG is not a finite sequence).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -17,19 +17,24 @@
 //!   `n_opt` selection of the static strategy.
 //! * [`sum`] — compensated (Neumaier) summation for the long Poisson sums
 //!   of §4.2.3/§4.3.3.
+//! * [`error`] — the shared [`NumericsError`] type: non-bracketing
+//!   intervals, iteration-cap exhaustion and quadrature non-convergence
+//!   are typed errors, not panics or silent best-effort returns.
 
+pub mod error;
 pub mod memo;
 pub mod optimize;
 pub mod quad;
 pub mod roots;
 pub mod sum;
 
+pub use error::NumericsError;
 pub use optimize::{
     brent_max, brent_min, grid_max, integer_argmax, round_to_better_integer, Extremum, GridSpec,
 };
 pub use memo::LatticeCache;
-pub use quad::{adaptive_simpson, integrate_to_inf, GaussLegendre, QuadResult};
-pub use roots::{bisect, brent_root, newton_safeguarded, BracketError};
+pub use quad::{adaptive_simpson, adaptive_simpson_checked, integrate_to_inf, GaussLegendre, QuadResult};
+pub use roots::{bisect, brent_root, newton_safeguarded};
 pub use sum::NeumaierSum;
 
 /// Generates `n` evenly spaced points covering `[a, b]` inclusive.

@@ -82,6 +82,31 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64
     }
 }
 
+/// [`adaptive_simpson`] with a convergence check: returns `Err` when the
+/// recursion bottomed out with a conservative error estimate still far
+/// (1000×) above the requested tolerance, or produced a non-finite
+/// value, instead of silently handing back the best-effort estimate.
+///
+/// Use this on input-driven paths (CLI specs, learned laws) where a
+/// surprise integrand should become a readable error, not a silently
+/// wrong number.
+pub fn adaptive_simpson_checked<F: FnMut(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<QuadResult, crate::NumericsError> {
+    let r = adaptive_simpson(f, a, b, tol);
+    let budget = 1000.0 * tol.max(f64::MIN_POSITIVE);
+    if !r.value.is_finite() || !r.error.is_finite() || r.error > budget {
+        return Err(crate::NumericsError::QuadratureTolerance {
+            error: r.error,
+            tol,
+        });
+    }
+    Ok(r)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simpson_rec<F: FnMut(f64) -> f64>(
     f: &mut F,
@@ -126,9 +151,20 @@ pub struct GaussLegendre {
 }
 
 impl GaussLegendre {
-    /// Builds the `n`-point rule. Panics if `n == 0`.
+    /// Builds the `n`-point rule. Panics if `n == 0`; infallible callers
+    /// with literal orders keep this, input-driven callers should prefer
+    /// [`GaussLegendre::try_new`].
     pub fn new(n: usize) -> Self {
-        assert!(n > 0, "Gauss-Legendre order must be positive");
+        Self::try_new(n).expect("Gauss-Legendre order must be positive")
+    }
+
+    /// Builds the `n`-point rule, rejecting `n == 0` with a typed error.
+    pub fn try_new(n: usize) -> Result<Self, crate::NumericsError> {
+        if n == 0 {
+            return Err(crate::NumericsError::InvalidInput {
+                what: "Gauss-Legendre order must be positive",
+            });
+        }
         let mut nodes = vec![0.0; n];
         let mut weights = vec![0.0; n];
         let m = n.div_ceil(2);
@@ -162,7 +198,7 @@ impl GaussLegendre {
         if n % 2 == 1 {
             nodes[n / 2] = 0.0;
         }
-        Self { nodes, weights }
+        Ok(Self { nodes, weights })
     }
 
     /// Number of nodes.
@@ -243,7 +279,8 @@ mod tests {
 
     #[test]
     fn simpson_known_integrals() {
-        let cases: &[(&dyn Fn(f64) -> f64, f64, f64, f64)] = &[
+        type Case<'a> = (&'a dyn Fn(f64) -> f64, f64, f64, f64);
+        let cases: &[Case] = &[
             (&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 2.0),
             (&|x: f64| x.exp(), 0.0, 1.0, std::f64::consts::E - 1.0),
             (&|x: f64| 1.0 / x, 1.0, std::f64::consts::E, 1.0),
@@ -365,7 +402,7 @@ mod tests {
         let lambda = 0.5;
         let a = 1.0;
         let r = integrate_to_inf(|x| lambda * (-lambda * x).exp(), a, 1e-12);
-        let want = (-lambda * a as f64).exp();
+        let want = (-lambda * a).exp();
         assert!(((r.value - want) / want).abs() < 1e-9);
     }
 

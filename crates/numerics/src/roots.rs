@@ -5,17 +5,7 @@
 //! Normal/LogNormal checkpoint laws) and the dynamic-strategy threshold
 //! `W_int` of §4.3 (the crossing of `E[W_C]` and `E[W_{+1}]`).
 
-/// Error returned when the supplied interval does not bracket a root.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BracketError;
-
-impl std::fmt::Display for BracketError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "interval endpoints do not bracket a sign change")
-    }
-}
-
-impl std::error::Error for BracketError {}
+use crate::NumericsError;
 
 /// Plain bisection on `[a, b]`; requires `f(a)` and `f(b)` of opposite
 /// signs (zero endpoint values are returned immediately).
@@ -27,7 +17,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     mut a: f64,
     mut b: f64,
     tol: f64,
-) -> Result<f64, BracketError> {
+) -> Result<f64, NumericsError> {
     let mut fa = f(a);
     if fa == 0.0 {
         return Ok(a);
@@ -37,7 +27,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         return Ok(b);
     }
     if fa.signum() == fb.signum() || fa.is_nan() || fb.is_nan() {
-        return Err(BracketError);
+        return Err(NumericsError::NoBracket);
     }
     let mut iters = resq_obs::metrics::ROOT_ITERATIONS.tally();
     for _ in 0..200 {
@@ -57,7 +47,10 @@ pub fn bisect<F: FnMut(f64) -> f64>(
             b = m;
         }
     }
-    Ok(0.5 * (a + b))
+    Err(NumericsError::NonConvergence {
+        method: "bisect",
+        iterations: 200,
+    })
 }
 
 /// Brent's method (inverse quadratic interpolation + secant + bisection)
@@ -70,7 +63,7 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
     a: f64,
     b: f64,
     tol: f64,
-) -> Result<f64, BracketError> {
+) -> Result<f64, NumericsError> {
     let (mut a, mut b) = (a, b);
     let mut fa = f(a);
     let mut fb = f(b);
@@ -81,7 +74,7 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
         return Ok(b);
     }
     if fa.signum() == fb.signum() || fa.is_nan() || fb.is_nan() {
-        return Err(BracketError);
+        return Err(NumericsError::NoBracket);
     }
     let _span = resq_obs::span::enter(resq_obs::span_name::BRENT);
     let (mut c, mut fc) = (a, fa);
@@ -149,7 +142,10 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
             e = d;
         }
     }
-    Ok(b)
+    Err(NumericsError::NonConvergence {
+        method: "brent",
+        iterations: 200,
+    })
 }
 
 /// Newton's method with a bisection safeguard inside `[lo, hi]`.
@@ -163,7 +159,7 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
     lo: f64,
     hi: f64,
     tol: f64,
-) -> Result<f64, BracketError> {
+) -> Result<f64, NumericsError> {
     let (flo, _) = fdf(lo);
     if flo == 0.0 {
         return Ok(lo);
@@ -173,7 +169,7 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
         return Ok(hi);
     }
     if flo.signum() == fhi.signum() || flo.is_nan() || fhi.is_nan() {
-        return Err(BracketError);
+        return Err(NumericsError::NoBracket);
     }
     // Orient so f(a) < 0 < f(b).
     let (mut a, mut b) = if flo < 0.0 { (lo, hi) } else { (hi, lo) };
@@ -206,7 +202,10 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
         }
         x = next;
     }
-    Ok(x)
+    Err(NumericsError::NonConvergence {
+        method: "newton",
+        iterations: 100,
+    })
 }
 
 #[cfg(test)]
@@ -221,7 +220,10 @@ mod tests {
 
     #[test]
     fn bisect_rejects_non_bracket() {
-        assert_eq!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12), Err(BracketError));
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12),
+            Err(NumericsError::NoBracket)
+        );
     }
 
     #[test]
@@ -232,7 +234,8 @@ mod tests {
 
     #[test]
     fn brent_matches_known_roots() {
-        let cases: &[(&dyn Fn(f64) -> f64, f64, f64, f64)] = &[
+        type Case<'a> = (&'a dyn Fn(f64) -> f64, f64, f64, f64);
+        let cases: &[Case] = &[
             (&|x: f64| x * x - 2.0, 0.0, 2.0, std::f64::consts::SQRT_2),
             (&|x: f64| x.cos() - x, 0.0, 1.0, 0.7390851332151607),
             (&|x: f64| x.exp() - 3.0, 0.0, 2.0, 3.0f64.ln()),

@@ -34,6 +34,10 @@ pub mod event_type {
     /// A policy decision observed during a sampled trial: whether the
     /// threshold rule fired, at what remaining-time value.
     pub const CHECKPOINT_DECISION: &str = "checkpoint-decision";
+    /// Outcome of a checkpoint retry schedule observed during a sampled
+    /// trial under fault injection: attempts made, whether any attempt
+    /// succeeded, and the time consumed by the schedule.
+    pub const RETRY_OUTCOME: &str = "retry-outcome";
     /// Last row of every run: final summary statistics.
     pub const RUN_FINISHED: &str = "run-finished";
 
@@ -43,6 +47,7 @@ pub mod event_type {
         CHUNK_PROGRESS,
         TRIAL_SAMPLE,
         CHECKPOINT_DECISION,
+        RETRY_OUTCOME,
         RUN_FINISHED,
     ];
 }
@@ -178,7 +183,7 @@ mod tests {
         for t in event_type::ALL {
             assert!(seen.insert(*t), "duplicate event type {t}");
         }
-        assert_eq!(seen.len(), 5);
+        assert_eq!(seen.len(), 6);
     }
 
     #[test]

@@ -317,6 +317,19 @@ pub static MC_RUNS: Counter = Counter::new(
     "Monte-Carlo batch runs (run_trials calls) started",
 );
 
+/// Checkpoint write attempts made under fault injection
+/// (`resq_sim::faults`), successful or not.
+pub static CKPT_ATTEMPTS_TOTAL: Counter = Counter::new(
+    "ckpt_attempts_total",
+    "checkpoint write attempts made under fault injection",
+);
+
+/// Checkpoint write attempts that failed under fault injection.
+pub static CKPT_FAILURES_TOTAL: Counter = Counter::new(
+    "ckpt_failures_total",
+    "checkpoint write attempts that failed under fault injection",
+);
+
 /// Distribution of trials processed per worker thread per run —
 /// lopsided buckets mean poor load balance.
 pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
@@ -333,6 +346,8 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &MC_TRIALS_RUN,
     &MC_CHUNKS_RUN,
     &MC_RUNS,
+    &CKPT_ATTEMPTS_TOTAL,
+    &CKPT_FAILURES_TOTAL,
 ];
 
 /// Every registered histogram, in display order.

@@ -48,11 +48,12 @@
 //!   above).
 
 pub use resq_core::{
-    Action, CampaignModel, CheckpointPlan, ControllerState, ConvolutionStatic, CoreError,
-    DeterministicPlan, DeterministicWorkflow, DpSolution, DynamicStrategy, DynamicWorkflowPolicy,
-    FixedLeadPolicy, HeterogeneousDynamic, PessimisticWorkflowPolicy, Preemptible,
-    PreemptiblePolicy, ReservationController, Stage, StaticPlan, StaticStrategy,
-    StaticWorkflowPolicy, TaskDuration, WorkflowPolicy,
+    Action, CampaignModel, CheckpointPlan, CheckpointReliability, ControllerState,
+    ConvolutionStatic, CoreError, DeterministicPlan, DeterministicWorkflow, DpSolution,
+    DynamicStrategy, DynamicWorkflowPolicy, FixedLeadPolicy, HeterogeneousDynamic,
+    PessimisticWorkflowPolicy, Preemptible, PreemptiblePolicy, ReservationController,
+    RetryDynamicStrategy, RetryPolicy, RetryPreemptible, RetryStaticStrategy, Stage, StaticPlan,
+    StaticStrategy, StaticWorkflowPolicy, TaskDuration, WorkflowPolicy,
 };
 
 /// Special functions (re-export of `resq-specfun`).

@@ -12,7 +12,15 @@
 //! * a failure mid-task or mid-checkpoint destroys all work since the
 //!   last *successful* checkpoint;
 //! * execution resumes (within the same reservation) after a recovery of
-//!   stochastic duration;
+//!   stochastic duration — and the recovery itself is **failure-prone**:
+//!   a fail-stop error striking mid-recovery restarts the recovery from
+//!   the instant of that failure (a fresh duration is drawn, modelling a
+//!   reboot-from-scratch). Such failures count toward
+//!   [`FailureOutcome::failures`] but destroy no work, since the
+//!   in-flight work was already lost when recovery began. The next
+//!   failure is drawn from the Poisson process anchored at the previous
+//!   failure instant, so failure times remain a homogeneous process on
+//!   the wall clock;
 //! * intermediate checkpoints therefore become useful *during* the
 //!   reservation, not only at its end — the Young/Daly regime the
 //!   related-work section contrasts with. [`young_daly_period`] provides
@@ -21,18 +29,32 @@
 
 use rand::RngCore;
 use resq_core::policy::{Action, WorkflowPolicy};
+use resq_core::CoreError;
 use resq_core::workflow::task_law::TaskDuration;
 use resq_dist::{Exponential, Sample};
 
 /// The Young/Daly first-order optimal checkpoint period
 /// `sqrt(2 · μ_f · C)` where `μ_f = 1/λ_f` is the failure MTBF and `C`
 /// the (mean) checkpoint duration.
-pub fn young_daly_period(mean_checkpoint: f64, failure_rate: f64) -> f64 {
-    assert!(
-        mean_checkpoint > 0.0 && failure_rate > 0.0,
-        "Young/Daly needs positive checkpoint time and failure rate"
-    );
-    (2.0 * mean_checkpoint / failure_rate).sqrt()
+///
+/// Both parameters must be positive and finite; violations are reported
+/// as a typed [`CoreError`] (this is an input-driven path — trace-learned
+/// checkpoint means and operator-supplied failure rates flow in here, and
+/// a bad value must not abort the process).
+pub fn young_daly_period(mean_checkpoint: f64, failure_rate: f64) -> Result<f64, CoreError> {
+    if !(mean_checkpoint > 0.0) || !mean_checkpoint.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "mean_checkpoint",
+            value: mean_checkpoint,
+        });
+    }
+    if !(failure_rate > 0.0) || !failure_rate.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "failure_rate",
+            value: failure_rate,
+        });
+    }
+    Ok((2.0 * mean_checkpoint / failure_rate).sqrt())
 }
 
 /// Checkpoint every time the work since the last successful checkpoint
@@ -106,6 +128,25 @@ impl<X: TaskDuration, C: Sample, RV: Sample> FailureWorkflowSim<X, C, RV> {
         now + law.sample(rng)
     }
 
+    /// Completes a recovery beginning at the failure instant `t`,
+    /// restarting it whenever another fail-stop error strikes
+    /// mid-recovery (see the module header for the semantics). Returns
+    /// `(resume_time, next_failure_after_resume, failures_during_recovery)`.
+    /// Failures whose instant lies beyond the deadline `r` are not
+    /// counted — the reservation expires first.
+    fn recover(&self, mut t: f64, r: f64, rng: &mut dyn RngCore) -> (f64, f64, u64) {
+        let mut extra = 0u64;
+        loop {
+            let d = self.recovery.sample(rng).max(0.0);
+            let nf = self.next_failure(t, rng);
+            if t + d <= nf || nf >= r {
+                return (t + d, nf, extra);
+            }
+            extra += 1;
+            t = nf;
+        }
+    }
+
     /// Runs one reservation under `policy`.
     pub fn run_once<P: WorkflowPolicy + ?Sized>(
         &self,
@@ -136,8 +177,10 @@ impl<X: TaskDuration, C: Sample, RV: Sample> FailureWorkflowSim<X, C, RV> {
                         out.work_lost += inflight;
                         inflight = 0.0;
                         tasks_since = 0;
-                        t = next_fail + self.recovery.sample(rng).max(0.0);
-                        next_fail = self.next_failure(next_fail, rng);
+                        let (resume, nf, extra) = self.recover(next_fail, r, rng);
+                        out.failures += extra;
+                        t = resume;
+                        next_fail = nf;
                         continue;
                     }
                     // Deadline: reservation over, in-flight lost.
@@ -168,8 +211,10 @@ impl<X: TaskDuration, C: Sample, RV: Sample> FailureWorkflowSim<X, C, RV> {
                 out.work_lost += inflight;
                 inflight = 0.0;
                 tasks_since = 0;
-                t = next_fail + self.recovery.sample(rng).max(0.0);
-                next_fail = self.next_failure(next_fail, rng);
+                let (resume, nf, extra) = self.recover(next_fail, r, rng);
+                out.failures += extra;
+                t = resume;
+                next_fail = nf;
                 continue;
             }
             if end > r {
@@ -211,14 +256,16 @@ mod tests {
     #[test]
     fn young_daly_formula() {
         // sqrt(2 · C / λ): C = 5, λ = 0.01 → sqrt(1000) ≈ 31.6.
-        let p = young_daly_period(5.0, 0.01);
+        let p = young_daly_period(5.0, 0.01).unwrap();
         assert!((p - 1000.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "positive checkpoint")]
     fn young_daly_rejects_bad_input() {
-        let _ = young_daly_period(0.0, 0.01);
+        assert!(young_daly_period(0.0, 0.01).is_err());
+        assert!(young_daly_period(5.0, 0.0).is_err());
+        assert!(young_daly_period(5.0, f64::NAN).is_err());
+        assert!(young_daly_period(f64::INFINITY, 0.01).is_err());
     }
 
     #[test]
@@ -276,7 +323,7 @@ mod tests {
         let fsim = sim(rate);
         let single = ThresholdWorkflowPolicy { threshold: 20.3 };
         let periodic = PeriodicCheckpointPolicy {
-            period: young_daly_period(5.0, rate),
+            period: young_daly_period(5.0, rate).unwrap(),
         };
         let cfg = MonteCarloConfig {
             trials: 50_000,
@@ -307,6 +354,40 @@ mod tests {
                 assert_eq!(out.work_saved, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn failures_during_recovery_are_counted_and_destroy_no_work() {
+        // Long constant recovery (5 s) under a high failure rate: a
+        // sizable fraction of recoveries is interrupted, so the failure
+        // count must exceed what a recovery-blind count would give,
+        // while the work accounting invariants still hold.
+        let fsim = FailureWorkflowSim {
+            reservation: 29.0,
+            task: tn(3.0, 0.5),
+            ckpt: tn(5.0, 0.4),
+            recovery: Constant::new(5.0).unwrap(),
+            failure_rate: 0.2,
+        };
+        let policy = PeriodicCheckpointPolicy { period: 6.0 };
+        let mut rng = Xoshiro256pp::new(77);
+        let mut interrupted_recoveries = 0u64;
+        for _ in 0..2000 {
+            let out = fsim.run_once(&policy, &mut rng);
+            assert!(out.work_saved + out.work_lost <= 29.0 + 1e-9);
+            // With recovery = 5 s and MTBF = 5 s, P(interrupt) ≈ 1−e⁻¹;
+            // count trials where the accounting shows more failures than
+            // work-losing events could explain is impossible per-trial,
+            // so instead track the aggregate below.
+            interrupted_recoveries += out.failures;
+        }
+        // λR = 5.8 per reservation ignoring pauses; with failure-prone
+        // recovery the observed count must stay well above half of the
+        // recovery-blind floor — and nonzero interruption means the mean
+        // exceeds what the old recovery-is-safe model could produce on
+        // the same wall-clock exposure. Coarse sanity band:
+        let mean = interrupted_recoveries as f64 / 2000.0;
+        assert!(mean > 1.0 && mean < 1.2 * 0.2 * 29.0, "mean failures {mean}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod campaign;
 pub mod failures;
+pub mod faults;
 pub mod monte_carlo;
 pub mod preemptible;
 pub mod stats;
@@ -40,6 +41,10 @@ pub mod workflow;
 pub use campaign::{CampaignConfig, CampaignOutcome, CampaignSimulator};
 pub use failures::{
     young_daly_period, FailureOutcome, FailureWorkflowSim, PeriodicCheckpointPolicy,
+};
+pub use faults::{
+    FaultInjector, FaultyOutcome, FaultyPreemptibleOutcome, FaultyWorkflowSim,
+    ReliabilityInjector, RetryPreemptibleSim,
 };
 pub use monte_carlo::{
     run_trials, run_trials_batched, run_trials_observed, run_trials_with, MonteCarloConfig, CHUNK,

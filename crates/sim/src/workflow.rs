@@ -130,9 +130,27 @@ impl BatchScratch {
     }
 
     /// Discards buffered draws (a new trial owns a new RNG stream).
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.tasks.clear();
         self.next = 0;
+    }
+
+    /// Serves the next task draw, refilling the block buffer through
+    /// `draw_batch` when empty — the one batched primitive shared with
+    /// the fault-injected runner (`crate::faults`).
+    pub(crate) fn next_draw<X: TaskDuration>(
+        &mut self,
+        task: &X,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        if self.next == self.tasks.len() {
+            self.tasks.resize(Self::BLOCK, 0.0);
+            task.draw_batch(rng, &mut self.tasks);
+            self.next = 0;
+        }
+        let x = self.tasks[self.next];
+        self.next += 1;
+        x
     }
 }
 
@@ -340,7 +358,7 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
 }
 
 /// Convenience wrapper: one §4 trial.
-pub fn simulate_workflow<X: TaskDuration, C: Sample, P: WorkflowPolicy + ?Sized>(
+pub fn simulate_workflow<X, C, P>(
     reservation: f64,
     task: &X,
     ckpt: &C,
@@ -348,8 +366,9 @@ pub fn simulate_workflow<X: TaskDuration, C: Sample, P: WorkflowPolicy + ?Sized>
     rng: &mut dyn RngCore,
 ) -> WorkflowOutcome
 where
-    X: Clone,
-    C: Clone,
+    X: TaskDuration + Clone,
+    C: Sample + Clone,
+    P: WorkflowPolicy + ?Sized,
 {
     WorkflowSim {
         reservation,

@@ -148,8 +148,8 @@ mod tests {
         (0.5, 0.4795001221869535),
         (1.0, 0.15729920705028513),
         (2.0, 0.004677734981063127),
-        (3.0, 2.2090496998585441e-05),
-        (5.0, 1.5374597944280349e-12),
+        (3.0, 2.209_049_699_858_544e-5),
+        (5.0, 1.537_459_794_428_035e-12),
         (10.0, 2.0884875837625447e-45),
         (20.0, 5.3958656116079005e-176),
         (-1.0, 1.8427007929497148),

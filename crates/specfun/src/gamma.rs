@@ -11,14 +11,14 @@ use std::f64::consts::PI;
 
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
-    -176.615_029_162_140_59,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
-    9.984_369_578_019_571_6e-6,
+    9.984_369_578_019_572e-6,
     1.505_632_735_149_311_6e-7,
 ];
 
@@ -128,7 +128,7 @@ mod tests {
         (1.0, 0.0),
         (1.5, -0.12078223763524522),
         (2.0, 0.0),
-        (3.0, 0.6931471805599453),   // ln 2
+        (3.0, std::f64::consts::LN_2), // ln Γ(3) = ln 2
         (10.0, 12.801827480081469),
         (100.0, 359.1342053695754),
         (0.1, 2.252712651734206),

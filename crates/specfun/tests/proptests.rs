@@ -49,7 +49,7 @@ proptest! {
     #[test]
     fn norm_pdf_positive_and_bounded(x in -60.0f64..60.0) {
         let d = norm_pdf(x);
-        prop_assert!(d >= 0.0 && d <= 0.39894228040143275);
+        prop_assert!((0.0..=0.39894228040143275).contains(&d));
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recovery = Truncated::above(Normal::new(recovery_mean, 0.3)?, 0.0)?;
 
     // Dynamic threshold tuned for the EFFECTIVE reservation length (§4.4).
-    let w_int = DynamicStrategy::new(task.clone(), ckpt.clone(), r - recovery_mean)?
+    let w_int = DynamicStrategy::new(task, ckpt, r - recovery_mean)?
         .threshold()
         .expect("feasible reservation");
     println!("UQ campaign: {total_work} s of work, reservations of {r} s, recovery ~{recovery_mean} s");

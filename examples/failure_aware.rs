@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = 29.0;
     let task = Truncated::above(Normal::new(3.0, 0.5)?, 0.0)?;
     let ckpt = Truncated::above(Normal::new(5.0, 0.4)?, 0.0)?;
-    let w_int = DynamicStrategy::new(task.clone(), ckpt.clone(), r)?
+    let w_int = DynamicStrategy::new(task, ckpt, r)?
         .threshold()
         .expect("feasible");
 
@@ -41,15 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rate = if mtbf.is_finite() { 1.0 / mtbf } else { 0.0 };
         let sim = FailureWorkflowSim {
             reservation: r,
-            task: task.clone(),
-            ckpt: ckpt.clone(),
+            task,
+            ckpt,
             recovery: Constant::new(1.0)?,
             failure_rate: rate,
         };
         let single = ThresholdWorkflowPolicy { threshold: w_int };
         let s_single = run_trials(cfg, |_, rng| sim.run_once(&single, rng).work_saved);
         let (period, s_periodic, fail_mean) = if rate > 0.0 {
-            let period = young_daly_period(5.0, rate).min(w_int);
+            let period = young_daly_period(5.0, rate).unwrap().min(w_int);
             let periodic = PeriodicCheckpointPolicy { period };
             let s = run_trials(cfg, |_, rng| sim.run_once(&periodic, rng).work_saved);
             let f = run_trials(cfg, |_, rng| sim.run_once(&periodic, rng).failures as f64);

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Iterative solver: R = {r} s, iteration ~ N[0,inf)(3, 0.5^2), checkpoint ~ N[0,inf)(5, 0.4^2)\n");
 
     // ---- Static strategy (§4.2): decide n_opt before execution -------
-    let static_strategy = StaticStrategy::new(Normal::new(3.0, 0.5)?, ckpt.clone(), r)?;
+    let static_strategy = StaticStrategy::new(Normal::new(3.0, 0.5)?, ckpt, r)?;
     let static_plan = static_strategy.optimize();
     println!(
         "  static  (§4.2): checkpoint after n_opt = {} iterations \
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Dynamic strategy (§4.3): threshold on observed work ---------
-    let dynamic = DynamicStrategy::new(task.clone(), ckpt.clone(), r)?;
+    let dynamic = DynamicStrategy::new(task, ckpt, r)?;
     let w_int = dynamic.threshold().expect("reservation long enough");
     println!(
         "  dynamic (§4.3): checkpoint once accumulated work >= W_int = {:.2} s\n",
@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Race them over 200k reservations -----------------------------
     let sim = WorkflowSim {
         reservation: r,
-        task: task.clone(),
-        ckpt: ckpt.clone(),
+        task,
+        ckpt,
     };
     let cfg = MonteCarloConfig {
         trials: 200_000,

@@ -325,6 +325,138 @@ fn batched_span_structure_is_thread_count_invariant() {
     }
 }
 
+/// Fault-injected workflow fixture on order-preserving laws (Gamma task,
+/// Uniform checkpoint), so the `--batch` toggle must be bit-transparent.
+fn faulty_sim() -> resq::sim::FaultyWorkflowSim<Gamma, Uniform, resq::sim::ReliabilityInjector> {
+    resq::sim::FaultyWorkflowSim {
+        reservation: 30.0,
+        task: Gamma::new(9.0, 1.0 / 3.0).unwrap(),
+        ckpt: Uniform::new(1.0, 2.0).unwrap(),
+        injector: resq::sim::ReliabilityInjector::new(
+            resq::CheckpointReliability::PerAttempt { p: 0.6 },
+            0.02,
+        )
+        .unwrap(),
+        retry: resq::RetryPolicy::Backoff {
+            max_attempts: 3,
+            delay: 0.25,
+        },
+    }
+}
+
+#[test]
+fn fault_injected_runs_bit_identical_across_threads_and_batch() {
+    // The fault injector draws from a dedicated sub-stream split off the
+    // trial stream at entry, so fault-injected runs inherit the full
+    // determinism contract: thread count and the batch toggle must not
+    // change a single bit of the summary or the event log.
+    use resq::obs::MemorySink;
+    use resq::sim::run_trials_observed;
+
+    let fs = faulty_sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.0 };
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let scalar = |threads: usize| {
+        let sink = MemorySink::new();
+        let summary = run_trials_observed(
+            MonteCarloConfig {
+                trials: 20_000,
+                seed: 4242,
+                threads,
+            },
+            &sink,
+            1_000,
+            |_, rng| fs.run_once(&policy, rng).outcome.work_saved,
+        );
+        (summary, sink.lines())
+    };
+    let batched = |threads: usize| {
+        let sink = MemorySink::new();
+        let summary = run_trials_batched(
+            MonteCarloConfig {
+                trials: 20_000,
+                seed: 4242,
+                threads,
+            },
+            &sink,
+            1_000,
+            BatchScratch::new,
+            |_, rng, scratch| fs.run_once_batched(&policy, rng, scratch).outcome.work_saved,
+        );
+        (summary, sink.lines())
+    };
+
+    let (base_summary, base_log) = scalar(1);
+    assert!(!base_log.is_empty());
+    for threads in [2usize, max_threads] {
+        let (summary, log) = scalar(threads);
+        assert_eq!(
+            base_summary.mean.to_bits(),
+            summary.mean.to_bits(),
+            "faulty scalar summary differs at {threads} threads"
+        );
+        assert_eq!(base_log, log, "faulty event log differs at {threads} threads");
+    }
+    for threads in [1usize, 2, max_threads] {
+        let (summary, log) = batched(threads);
+        assert_eq!(
+            base_summary.mean.to_bits(),
+            summary.mean.to_bits(),
+            "batch toggle changed the faulty summary at {threads} threads"
+        );
+        assert_eq!(base_summary.std_dev.to_bits(), summary.std_dev.to_bits());
+        assert_eq!(base_summary.min.to_bits(), summary.min.to_bits());
+        assert_eq!(base_summary.max.to_bits(), summary.max.to_bits());
+        assert_eq!(
+            base_log, log,
+            "batch toggle changed the faulty event log at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fault_injected_span_structure_is_thread_count_invariant() {
+    // Fault injection rides inside the trial closure, so the span tree
+    // is exactly the plain runner's: `sim/mc` plus one chunk span per
+    // chunk, independent of thread count.
+    use resq::obs::span::{self, SpanRegistry};
+    use resq::obs::NullSink;
+    use resq::sim::run_trials_observed;
+
+    let fs = faulty_sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.0 };
+    let structure = |threads: usize| {
+        let registry = SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            run_trials_observed(
+                MonteCarloConfig {
+                    trials: 20_000,
+                    seed: 4242,
+                    threads,
+                },
+                &NullSink,
+                0,
+                |_, rng| fs.run_once(&policy, rng).outcome.work_saved,
+            );
+        }
+        registry.structure()
+    };
+    let base = structure(1);
+    let paths: Vec<&str> = base.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(paths, vec!["sim/mc", "sim/mc/chunk"]);
+    for threads in [2usize, 5, 8] {
+        assert_eq!(
+            base,
+            structure(threads),
+            "faulty span structure differs at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn analytic_planning_is_deterministic() {
     // No RNG involved: repeated planning gives identical bits.

@@ -13,7 +13,7 @@ use resq::{CampaignModel, DynamicStrategy, FixedLeadPolicy, Preemptible};
 fn trace_to_plan_to_simulation_pipeline() {
     // 1. Generate a synthetic checkpoint log from a hidden truth.
     let truth = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
-    let log = SyntheticTrace::clean(truth.clone()).generate(5000, 99);
+    let log = SyntheticTrace::clean(truth).generate(5000, 99);
 
     // 2. Persist and reload it (the operational path).
     let mut buf = Vec::new();
@@ -73,7 +73,7 @@ fn learned_lognormal_plan_beats_pessimistic_in_reality() {
     let t = Truncated::new(truth, truth.quantile(1e-4), truth.quantile(1.0 - 1e-4)).unwrap();
     let sim = PreemptibleSim {
         reservation: r,
-        ckpt: t.clone(),
+        ckpt: t,
     };
     let cfg = MonteCarloConfig {
         trials: 200_000,
@@ -108,7 +108,7 @@ fn campaign_with_dynamic_policy_completes_realistic_job() {
     // paper's "this amounts to working with a reservation of length R−r".
     // (Tuning for the full R overshoots and loses ~40% of the later
     // reservations to failed checkpoints.)
-    let w_int = DynamicStrategy::new(task.clone(), ckpt.clone(), 29.0 - 2.0)
+    let w_int = DynamicStrategy::new(task, ckpt, 29.0 - 2.0)
         .unwrap()
         .threshold()
         .unwrap();
@@ -165,7 +165,7 @@ fn preemptible_and_workflow_apis_compose_through_facade() {
     let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
     let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
 
-    let static_plan = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt.clone(), 29.0)
+    let static_plan = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt, 29.0)
         .unwrap()
         .optimize();
     let sim = WorkflowSim {

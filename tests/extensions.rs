@@ -39,7 +39,7 @@ fn convolution_planner_matches_simulation_for_lognormal_tasks() {
     let task = LogNormal::from_mean_sd(3.0, 0.6).unwrap();
     let ckpt = tn(5.0, 0.4);
     let r = 30.0;
-    let conv = ConvolutionStatic::new(&task, ckpt.clone(), r, 2048).unwrap();
+    let conv = ConvolutionStatic::new(&task, ckpt, r, 2048).unwrap();
     let sim = WorkflowSim {
         reservation: r,
         task,
@@ -217,7 +217,7 @@ fn young_daly_crossover_under_failures() {
     let periodic = run_trials(cfg, |_, rng| {
         fsim.run_once(
             &PeriodicCheckpointPolicy {
-                period: young_daly_period(5.0, rate).min(w_int),
+                period: young_daly_period(5.0, rate).unwrap().min(w_int),
             },
             rng,
         )

@@ -216,7 +216,7 @@ proptest! {
             }
             total
         };
-        let serial = fold(usize::MAX.min(n));
+        let serial = fold(n);
         let a = fold(chunk_a);
         let b = fold(chunk_b);
         for w in [&a, &b] {
