@@ -52,7 +52,7 @@ fn main() {
     println!("   {:>8} {:>12}", "R", "W_int");
     for r in [25.0f64, 27.0, 29.0, 31.0, 35.0, 40.0] {
         let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), r).unwrap();
-        let w = d.threshold().unwrap();
+        let w = d.threshold().unwrap().unwrap();
         println!("   {r:>8.1} {w:>12.4}");
         rows.push(vec![r, w]);
     }
@@ -62,7 +62,7 @@ fn main() {
     // --- 3. Static-strategy relaxation granularity ----------------------
     println!("== ablation 3: continuous relaxation vs integer scan (Fig-5 parameters)");
     let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt(5.0, 0.4), 30.0).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     let mut rows = Vec::new();
     println!("   {:>4} {:>12}", "n", "E(n)");
     for n in 1..=12u64 {

@@ -6,7 +6,9 @@
 //!
 //! * adaptive Simpson quadrature of a smooth Gaussian-type integrand;
 //! * Brent root solves and Lambert-W evaluations (the §3/§4.3 kernels);
-//! * the preemptible and static optimizers (`solve/*` spans end-to-end);
+//! * the preemptible, static (Poisson and Normal) and dynamic optimizers
+//!   (`solve/*` spans end-to-end, through the kernel-cache +
+//!   Gauss–Legendre fast path);
 //! * `run_trials_observed` throughput at 1, 2 and N worker threads
 //!   (`mc/*`), and the same workload through the chunk-buffered batched
 //!   sampler path `run_trials_batched` (`mc_batched/*`). In full mode
@@ -21,24 +23,34 @@
 //! read quantiles back from the span registry's power-of-two latency
 //! histogram — bucket midpoints, which collapsed every ~46 ms
 //! Monte-Carlo iteration into one bucket and made the thread-sweep
-//! quantiles byte-identical. Schema v2 records the real distribution.)
+//! quantiles byte-identical. Schema v2 records the real distribution.
+//! Schema v3 adds a per-entry `threads` field and records the host's
+//! `available_parallelism` in provenance, so flat `mc/threads_*` curves
+//! on single-core runners are self-explaining, and adds the solver
+//! fast-path entries.)
 //!
 //! ```text
 //! perf_baseline                 full mode: write BENCH_perf.json at the repo root
 //! perf_baseline --smoke         tiny iteration counts (CI): write + self-check
 //! perf_baseline --out <path>    redirect the report
 //! perf_baseline --check <path>  validate an existing report against the schema
+//! perf_baseline --check <path> --baseline <committed>
+//!                               additionally gate `solve/*` entries against the
+//!                               committed baseline: >25% slower fails (full-mode
+//!                               reports only — smoke runs are schema+sanity)
 //! ```
 //!
 //! Timings are wall-clock facts: like manifests, `BENCH_perf.json` is
 //! provenance and is *expected* to differ between machines and runs.
-//! Only its schema is checked in CI.
+//! Only its schema is checked in CI; the `--baseline` regression gate is
+//! meaningful when the fresh run and the committed baseline come from
+//! the same machine (the local pre-commit workflow).
 
 use resq::core::policy::ThresholdWorkflowPolicy;
 use resq::dist::{Normal, Truncated, Uniform};
 use resq::sim::stats::quantile;
 use resq::sim::{run_trials_batched, run_trials_observed, BatchScratch, MonteCarloConfig, WorkflowSim};
-use resq::{Preemptible, StaticStrategy};
+use resq::{DynamicStrategy, Preemptible, StaticStrategy};
 use resq_dist::Poisson;
 use resq_numerics::{adaptive_simpson, brent_root};
 use resq_obs::span::{self, SpanRegistry};
@@ -48,14 +60,24 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-/// `v2`: exact per-iteration quantiles (v1 reported histogram-bucket
-/// midpoints) and the `mc_batched/*` fast-path entries.
-const SCHEMA: &str = "resq-perf-baseline/v2";
+/// `v3`: per-entry `threads`, provenance `available_parallelism`, and
+/// the `solve/static_normal` + `solve/dynamic` fast-path entries.
+const SCHEMA: &str = "resq-perf-baseline/v3";
+
+/// Relative slowdown vs the committed baseline at which a tracked
+/// `solve/*` entry fails the `--baseline` regression gate. 25% is wide
+/// enough to absorb same-machine run-to-run noise on the ≥40-iteration
+/// solver entries (observed jitter is under 10%) while still catching
+/// any real algorithmic regression, which historically shows up as 2×+.
+const SOLVER_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// One timed hot path.
 struct Entry {
     name: String,
     iters: u64,
+    /// Worker threads the timed workload used (1 for single-threaded
+    /// solver/quadrature entries; the `mc/threads_N` sweep varies it).
+    threads: usize,
     total_nanos: u64,
     nanos_per_iter: f64,
     p50_nanos: f64,
@@ -68,7 +90,7 @@ struct Entry {
 /// library really runs with), recording one exact `Instant` duration per
 /// iteration. Quantiles are order statistics of those durations — not
 /// histogram-bucket read-backs.
-fn time_entry(name: &str, iters: u64, mut work: impl FnMut()) -> Entry {
+fn time_entry(name: &str, iters: u64, threads: usize, mut work: impl FnMut()) -> Entry {
     let registry = SpanRegistry::new();
     let mut durations: Vec<f64> = Vec::with_capacity(iters as usize);
     {
@@ -92,6 +114,7 @@ fn time_entry(name: &str, iters: u64, mut work: impl FnMut()) -> Entry {
     Entry {
         name: name.to_string(),
         iters,
+        threads,
         total_nanos: total as u64,
         nanos_per_iter: total / iters as f64,
         p50_nanos: quantile(&durations, 0.50),
@@ -130,7 +153,7 @@ fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool, batched: bool)
         seed: 42,
         threads,
     };
-    time_entry(name, scaled(6, smoke), || {
+    time_entry(name, scaled(6, smoke), threads, || {
         let s = if batched {
             run_trials_batched(cfg, &NullSink, 0, BatchScratch::new, |_, rng, scratch| {
                 sim.run_once_batched(&policy, rng, scratch).work_saved
@@ -150,32 +173,54 @@ fn collect(smoke: bool) -> Vec<Entry> {
         .unwrap_or(1);
     let mut entries = Vec::new();
 
-    entries.push(time_entry("quad/adaptive_simpson", scaled(400, smoke), || {
+    entries.push(time_entry("quad/adaptive_simpson", scaled(400, smoke), 1, || {
         let r = adaptive_simpson(|x| (-0.5 * x * x).exp() * (1.0 + x).ln_1p(), 0.0, 8.0, 1e-10);
         black_box(r.value);
     }));
 
-    entries.push(time_entry("roots/brent_root", scaled(2000, smoke), || {
+    entries.push(time_entry("roots/brent_root", scaled(2000, smoke), 1, || {
         let r = brent_root(|x| x.exp() - 3.0 * x, 0.0, 1.0, 1e-12);
         black_box(r.unwrap());
     }));
 
-    entries.push(time_entry("specfun/lambert_w", scaled(20_000, smoke), || {
+    entries.push(time_entry("specfun/lambert_w", scaled(20_000, smoke), 1, || {
         black_box(lambert_w0(black_box(1.5)));
         black_box(lambert_wm1(black_box(-0.2)));
     }));
 
-    entries.push(time_entry("solve/preemptible", scaled(40, smoke), || {
+    entries.push(time_entry("solve/preemptible", scaled(40, smoke), 1, || {
         let law = Uniform::new(1.0, 7.5).unwrap();
         let model = Preemptible::new(law, 10.0).unwrap();
         black_box(model.optimize().expected_work);
     }));
 
-    entries.push(time_entry("solve/static", scaled(40, smoke), || {
+    // Fresh strategy and kernel cache every iteration: what a cold
+    // single solve costs (the sweep-level cache reuse shows up in
+    // `all_experiments` wall time instead).
+    entries.push(time_entry("solve/static", scaled(40, smoke), 1, || {
         let task = Poisson::new(3.0).unwrap();
         let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
-        let plan = StaticStrategy::new(task, ckpt, 29.0).unwrap().optimize();
+        let plan = StaticStrategy::new(task, ckpt, 29.0).unwrap().optimize().unwrap();
         black_box(plan.n_opt);
+    }));
+
+    entries.push(time_entry("solve/static_normal", scaled(40, smoke), 1, || {
+        let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let plan = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt, 30.0)
+            .unwrap()
+            .optimize()
+            .unwrap();
+        black_box(plan.n_opt);
+    }));
+
+    entries.push(time_entry("solve/dynamic", scaled(40, smoke), 1, || {
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let w = DynamicStrategy::new(task, ckpt, 29.0)
+            .unwrap()
+            .threshold()
+            .unwrap();
+        black_box(w);
     }));
 
     entries.push(mc_entry("mc/threads_1", 1, 40_000, smoke, false));
@@ -207,9 +252,10 @@ fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
         row.push_str("\"name\": ");
         json::write_escaped(&mut row, &e.name);
         row.push_str(&format!(
-            ", \"iters\": {}, \"total_nanos\": {}, \"nanos_per_iter\": {:.1}, \
+            ", \"iters\": {}, \"threads\": {}, \"total_nanos\": {}, \"nanos_per_iter\": {:.1}, \
              \"p50_nanos\": {:.1}, \"p90_nanos\": {:.1}, \"p99_nanos\": {:.1}}}",
-            e.iters, e.total_nanos, e.nanos_per_iter, e.p50_nanos, e.p90_nanos, e.p99_nanos
+            e.iters, e.threads, e.total_nanos, e.nanos_per_iter, e.p50_nanos, e.p90_nanos,
+            e.p99_nanos
         ));
         if i + 1 < entries.len() {
             row.push(',');
@@ -218,7 +264,7 @@ fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
         out.push_str(&row);
     }
     out.push_str("  ],\n");
-    let threads = std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let git_rev = match resq_obs::git_rev() {
@@ -227,16 +273,18 @@ fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
     };
     out.push_str(&format!(
         "  \"provenance\": {{\"tool\": \"resq-bench perf_baseline\", \"mode\": \"{mode}\", \
-         \"threads\": {threads}, \"crate_version\": \"{}\", \"git_rev\": {git_rev}, \
-         \"wall_time_secs\": {wall_time_secs:.3}}}\n",
+         \"available_parallelism\": {available}, \"crate_version\": \"{}\", \
+         \"git_rev\": {git_rev}, \"wall_time_secs\": {wall_time_secs:.3}}}\n",
         env!("CARGO_PKG_VERSION")
     ));
     out.push_str("}\n");
     out
 }
 
-/// Validates a report against the schema: the CI smoke gate.
-fn check(path: &str) -> Result<(), String> {
+/// Parses a report and returns `(mode, entries)` after validating the
+/// schema: tag, per-entry numeric fields (including v3's `threads`),
+/// and the provenance block with `available_parallelism`.
+fn load_report(path: &str) -> Result<(String, Vec<json::JsonValue>), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let root = json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
@@ -260,6 +308,7 @@ fn check(path: &str) -> Result<(), String> {
             .ok_or("entry missing `name`")?;
         for key in [
             "iters",
+            "threads",
             "total_nanos",
             "nanos_per_iter",
             "p50_nanos",
@@ -277,6 +326,9 @@ fn check(path: &str) -> Result<(), String> {
         if e.get("iters").and_then(|v| v.as_u64()) == Some(0) {
             return Err(format!("entry `{name}` ran zero iterations"));
         }
+        if e.get("threads").and_then(|v| v.as_u64()) == Some(0) {
+            return Err(format!("entry `{name}` claims zero threads"));
+        }
     }
     let prov = root
         .get("provenance")
@@ -286,30 +338,92 @@ fn check(path: &str) -> Result<(), String> {
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("provenance missing `{key}`"))?;
     }
-    prov.get("threads")
+    prov.get("available_parallelism")
         .and_then(|v| v.as_u64())
-        .ok_or("provenance missing `threads`")?;
+        .ok_or("provenance missing `available_parallelism`")?;
     if prov.get("git_rev").is_none() {
         return Err("provenance missing `git_rev`".to_string());
     }
+    let mode = prov
+        .get("mode")
+        .and_then(|v| v.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    Ok((mode, entries.clone()))
+}
+
+/// Looks up `nanos_per_iter` for a named entry.
+fn per_iter(entries: &[json::JsonValue], wanted: &str) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
+        .and_then(|e| e.get("nanos_per_iter").and_then(|v| v.as_f64()))
+}
+
+/// Validates a report against the schema, plus the cross-path invariants
+/// and (optionally) the solver regression gate against a committed
+/// baseline report. The CI smoke gate runs this on both the smoke report
+/// and the committed `BENCH_perf.json`.
+fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
+    let (mode, entries) = load_report(path)?;
     // Full-mode reports must show the batched fast path actually paying
     // for itself on the single-threaded sweep. Smoke runs are too short
     // and noisy for a speed assertion, so only the schema is checked.
-    if prov.get("mode").and_then(|v| v.as_str()) == Some("full") {
-        let per_iter = |wanted: &str| -> Result<f64, String> {
-            entries
-                .iter()
-                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
-                .and_then(|e| e.get("nanos_per_iter").and_then(|v| v.as_f64()))
-                .ok_or_else(|| format!("full-mode report missing `{wanted}`"))
-        };
-        let scalar = per_iter("mc/threads_1")?;
-        let batched = per_iter("mc_batched/threads_1")?;
+    if mode == "full" {
+        let scalar = per_iter(&entries, "mc/threads_1")
+            .ok_or("full-mode report missing `mc/threads_1`")?;
+        let batched = per_iter(&entries, "mc_batched/threads_1")
+            .ok_or("full-mode report missing `mc_batched/threads_1`")?;
         if batched >= scalar {
             return Err(format!(
                 "mc_batched/threads_1 ({batched:.1} ns/iter) is not faster than \
                  mc/threads_1 ({scalar:.1} ns/iter)"
             ));
+        }
+    }
+    // Regression gate: every tracked solver entry in the fresh report
+    // must stay within SOLVER_REGRESSION_TOLERANCE of the committed
+    // baseline. Wall-clock comparisons only mean something when both
+    // reports are full-mode (smoke iteration counts are noise) — a
+    // smoke-mode fresh report gets schema+sanity only, by design.
+    if let Some(base_path) = baseline {
+        let (base_mode, base_entries) = load_report(base_path)?;
+        if mode == "full" && base_mode == "full" {
+            for e in &entries {
+                let Some(name) = e.get("name").and_then(|n| n.as_str()) else {
+                    continue;
+                };
+                if !name.starts_with("solve/") {
+                    continue;
+                }
+                let fresh = e
+                    .get("nanos_per_iter")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::NAN);
+                let Some(base) = per_iter(&base_entries, name) else {
+                    // New entry with no committed baseline yet: nothing
+                    // to regress against.
+                    continue;
+                };
+                let limit = base * (1.0 + SOLVER_REGRESSION_TOLERANCE);
+                if fresh > limit {
+                    return Err(format!(
+                        "solver regression: `{name}` at {fresh:.1} ns/iter is \
+                         {:.0}% slower than the committed baseline ({base:.1} ns/iter); \
+                         tolerance is {:.0}%",
+                        (fresh / base - 1.0) * 100.0,
+                        SOLVER_REGRESSION_TOLERANCE * 100.0
+                    ));
+                }
+                println!(
+                    "  gate `{name}`: {fresh:.1} ns/iter vs baseline {base:.1} (limit {limit:.1}) ok"
+                );
+            }
+        } else {
+            println!(
+                "  regression gate skipped: needs two full-mode reports \
+                 (fresh `{mode}`, baseline `{base_mode}`)"
+            );
         }
     }
     println!("{path}: ok ({} entries)", entries.len());
@@ -321,21 +435,26 @@ fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = it.next().cloned(),
             "--check" => check_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: perf_baseline [--smoke] [--out <path>] [--check <path>]");
+                eprintln!(
+                    "usage: perf_baseline [--smoke] [--out <path>] \
+                     [--check <path> [--baseline <path>]]"
+                );
                 std::process::exit(2);
             }
         }
     }
     if let Some(path) = check_path {
-        if let Err(e) = check(&path) {
+        if let Err(e) = check(&path, baseline_path.as_deref()) {
             eprintln!("perf report check failed: {e}");
             std::process::exit(1);
         }

@@ -115,9 +115,9 @@ pub fn exp_policy_mc(trials: u64) -> FigureResult {
     };
     let static_strategy =
         StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), c, r).unwrap();
-    let static_plan = static_strategy.optimize();
+    let static_plan = static_strategy.optimize().unwrap();
     let dynamic = DynamicStrategy::new(task, c, r).unwrap();
-    let w_int = dynamic.threshold().unwrap();
+    let w_int = dynamic.threshold().unwrap().unwrap();
 
     let s_static = run_trials(cfg, |_, rng| {
         sim.run_once(&StaticWorkflowPolicy { n_opt: static_plan.n_opt }, rng)
@@ -195,6 +195,9 @@ pub fn exp_dynamic_vs_static(trials: u64) -> FigureResult {
     let mut rows = Vec::new();
     let mut gain_low = 0.0;
     let mut gain_high = 0.0;
+    // One kernel cache for the whole sweep: the checkpoint law and R are
+    // fixed, so every σ after the first reuses the same CDF lattice.
+    let mut cache = resq::SolveCache::new();
     for &sigma in &[0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
         let task = Truncated::above(Normal::new(3.0, sigma).unwrap(), 0.0).unwrap();
         let sim = WorkflowSim {
@@ -204,10 +207,12 @@ pub fn exp_dynamic_vs_static(trials: u64) -> FigureResult {
         };
         let static_plan = StaticStrategy::new(Normal::new(3.0, sigma).unwrap(), c, r)
             .unwrap()
-            .optimize();
+            .optimize_with(&mut cache)
+            .unwrap();
         let w_int = DynamicStrategy::new(task, c, r)
             .unwrap()
-            .threshold()
+            .threshold_with(&mut cache)
+            .unwrap()
             .unwrap();
         let cfg = MonteCarloConfig {
             trials,
@@ -268,6 +273,7 @@ pub fn exp_campaign(trials: u64) -> FigureResult {
     let w_int = DynamicStrategy::new(task, c, r - 4.0)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let sim = CampaignSimulator {
         task,
@@ -410,7 +416,7 @@ pub fn exp_general_instance(trials: u64) -> FigureResult {
         })
         .collect();
     let chain = HeterogeneousDynamic::new(stages, r).unwrap();
-    let dp = chain.solve_dp(400);
+    let dp = chain.solve_dp(400).unwrap();
 
     // Simulate the generalized one-step rule via precomputed per-stage
     // thresholds (O(1) per decision inside the Monte-Carlo loop).
@@ -438,6 +444,7 @@ pub fn exp_general_instance(trials: u64) -> FigureResult {
     let naive_w_int = DynamicStrategy::new(mk_task(0), ckpt(5.0, 0.4), r)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let naive_policy = ThresholdWorkflowPolicy {
         threshold: naive_w_int,

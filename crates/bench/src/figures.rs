@@ -230,7 +230,7 @@ pub fn fig05() -> FigureResult {
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
     write_csv(&csv, "fig05", &["y", "f"], rows).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     FigureResult {
         id: "fig05".into(),
         title: "static strategy, Normal tasks: f(y), R=30".into(),
@@ -258,7 +258,7 @@ pub fn fig06() -> FigureResult {
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
     write_csv(&csv, "fig06", &["y", "g"], rows).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     FigureResult {
         id: "fig06".into(),
         title: "static strategy, Gamma tasks: g(y), R=10".into(),
@@ -286,7 +286,7 @@ pub fn fig07() -> FigureResult {
         .map(|y| vec![y, s.expected_work_relaxed(y)])
         .collect();
     write_csv(&csv, "fig07", &["y", "h"], rows).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     FigureResult {
         id: "fig07".into(),
         title: "static strategy, Poisson tasks: h(y), R=29".into(),
@@ -324,7 +324,10 @@ fn dynamic_figure<X: resq::core::workflow::task_law::TaskDuration>(
         .map(|w| vec![w, d.expect_checkpoint_now(w), d.expect_one_more(w)])
         .collect();
     write_csv(&csv, id, &["w", "E_WC", "E_Wplus1"], rows).unwrap();
-    let w_int = d.threshold().expect("threshold exists for paper parameters");
+    let w_int = d
+        .threshold()
+        .expect("threshold scan converges for paper parameters")
+        .expect("threshold exists for paper parameters");
     FigureResult {
         id: id.into(),
         title: title.into(),

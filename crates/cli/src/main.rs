@@ -240,7 +240,8 @@ fn plan_static(args: &Args) -> Result<(), ArgError> {
     let plan = match parse_law(task_raw)? {
         LawSpec::Poisson(p) => StaticStrategy::new(p, ckpt, r)
             .map_err(|e| ArgError(e.to_string()))?
-            .optimize(),
+            .optimize()
+            .map_err(|e| ArgError(e.to_string()))?,
         LawSpec::Continuous(task) => {
             // Exact family strategies exist for plain Normal/Gamma; the
             // convolution planner covers everything uniformly here.
@@ -279,7 +280,7 @@ fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
     );
     let task_mean = task.mean();
     let d = DynamicStrategy::new(task, ckpt, r).map_err(|e| ArgError(e.to_string()))?;
-    match d.threshold() {
+    match d.threshold().map_err(|e| ArgError(e.to_string()))? {
         Some(w) => {
             println!("reservation R     : {r}");
             println!("task mean         : {task_mean:.4}");

@@ -374,7 +374,7 @@ mod tests {
             panic!()
         };
         let d = resq::DynamicStrategy::new(task, ckpt, 29.0).unwrap();
-        let w = d.threshold().unwrap();
+        let w = d.threshold().unwrap().unwrap();
         assert!((w - 20.3).abs() < 0.3, "W_int = {w}");
     }
 }

@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn requests_checkpoint_at_threshold() {
-        let w_int = strategy().threshold().unwrap();
+        let w_int = strategy().threshold().unwrap().unwrap();
         let mut ctl = ReservationController::new(strategy());
         let mut crossed_at = None;
         for i in 0..20 {

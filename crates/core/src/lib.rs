@@ -38,6 +38,7 @@ pub mod preemptible;
 pub mod reliability;
 pub mod reservation;
 pub mod risk;
+pub mod solve_cache;
 pub mod workflow;
 
 pub use controller::{ControllerState, ReservationController};
@@ -53,6 +54,7 @@ pub use reliability::{
 };
 pub use reservation::{BillingModel, CampaignModel, ContinuationRule};
 pub use risk::RiskProfile;
+pub use solve_cache::SolveCache;
 pub use workflow::convolution::ConvolutionStatic;
 pub use workflow::deterministic::{DeterministicPlan, DeterministicWorkflow};
 pub use workflow::dynamic::DynamicStrategy;

@@ -116,10 +116,16 @@ impl<X: TaskDuration, C: Continuous> DynamicWorkflowPolicy<X, C> {
     }
 
     /// Converts to the O(1)-per-decision threshold form.
-    pub fn to_threshold_policy(&self) -> Option<ThresholdWorkflowPolicy> {
-        self.strategy.threshold().map(|w_int| ThresholdWorkflowPolicy {
-            threshold: w_int,
-        })
+    ///
+    /// Returns `Err` if the threshold scan's quadrature fails to
+    /// converge, and `Ok(None)` if the strategy never checkpoints.
+    pub fn to_threshold_policy(
+        &self,
+    ) -> Result<Option<ThresholdWorkflowPolicy>, crate::error::CoreError> {
+        Ok(self
+            .strategy
+            .threshold()?
+            .map(|w_int| ThresholdWorkflowPolicy { threshold: w_int }))
     }
 }
 
@@ -210,7 +216,10 @@ mod tests {
         let ckpt = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
         let strategy = DynamicStrategy::new(task, ckpt, 29.0).unwrap();
         let dynamic = DynamicWorkflowPolicy::new(strategy);
-        let threshold = dynamic.to_threshold_policy().expect("threshold exists");
+        let threshold = dynamic
+            .to_threshold_policy()
+            .unwrap()
+            .expect("threshold exists");
         // Both forms agree except in a hair-width band around W_int.
         for i in 0..=290 {
             let w = i as f64 * 0.1;

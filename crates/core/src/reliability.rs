@@ -655,11 +655,39 @@ impl<T: IidSum, C: Continuous> RetryStaticStrategy<T, C> {
         self.expected_work_relaxed(n as f64)
     }
 
+    /// [`RetryStaticStrategy::expected_work_relaxed`] through the
+    /// convergence-checked integrator: identical value when quadrature
+    /// converges, [`CoreError::Numerics`] when it does not. The discrete
+    /// branch is a finite sum and cannot fail.
+    pub fn expected_work_relaxed_checked(&self, y: f64) -> Result<f64, CoreError> {
+        if !(y > 0.0) {
+            return Ok(0.0);
+        }
+        if self.tasks.is_discrete() {
+            return Ok(self.expected_work_relaxed(y));
+        }
+        let r = self.model.r;
+        let (lo, hi) = self.tasks.sum_bounds(y);
+        let hi = hi.min(r);
+        if hi <= lo {
+            return Ok(0.0);
+        }
+        let q = resq_numerics::adaptive_simpson_checked(
+            |x| x * self.model.success_within(r - x) * self.tasks.sum_density(y, x),
+            lo,
+            hi,
+            1e-11,
+        )?;
+        Ok(q.value)
+    }
+
     /// Maximizes the relaxation over `y` and settles `n_opt` as the
     /// better of `⌊y_opt⌋` / `⌈y_opt⌉`, exactly as
     /// [`crate::StaticStrategy::optimize`]. No extra memoization is
-    /// needed: `S` is already served from the precomputed profile.
-    pub fn optimize(&self) -> StaticPlan {
+    /// needed: `S` is already served from the precomputed profile. The
+    /// reported values go through the convergence-checked integrator, so
+    /// quadrature non-convergence surfaces as [`CoreError::Numerics`].
+    pub fn optimize(&self) -> Result<StaticPlan, CoreError> {
         let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_STATIC);
         let y_max = (self.model.r / self.tasks.task_mean()) * 2.0 + 10.0;
         let spec = GridSpec {
@@ -668,14 +696,28 @@ impl<T: IidSum, C: Continuous> RetryStaticStrategy<T, C> {
         };
         let e = grid_max(|y| self.expected_work_relaxed(y), 1e-3, y_max, spec);
         let n_hi = (y_max.ceil() as u64).max(2);
-        let (n_opt, expected_work) =
-            round_to_better_integer(|n| self.expected_work(n), e.x, 1, n_hi);
-        StaticPlan {
+        let mut quad_err: Option<CoreError> = None;
+        let (n_opt, expected_work) = round_to_better_integer(
+            |n| match self.expected_work_relaxed_checked(n as f64) {
+                Ok(v) => v,
+                Err(err) => {
+                    quad_err.get_or_insert(err);
+                    f64::NAN
+                }
+            },
+            e.x,
+            1,
+            n_hi,
+        );
+        if let Some(err) = quad_err {
+            return Err(err);
+        }
+        Ok(StaticPlan {
             y_opt: e.x,
-            relaxed_value: self.expected_work_relaxed(e.x),
+            relaxed_value: self.expected_work_relaxed_checked(e.x)?,
             n_opt,
             expected_work,
-        }
+        })
     }
 }
 
@@ -742,30 +784,35 @@ impl<X: TaskDuration, C: Continuous> RetryDynamicStrategy<X, C> {
 
     /// The retry-aware work threshold `W_int`, computed exactly as
     /// [`crate::DynamicStrategy::threshold`] but with `S` in both
-    /// branches. `None` if checkpointing never wins before `R`.
-    pub fn threshold(&self) -> Option<f64> {
+    /// branches. `Ok(None)` if checkpointing never wins before `R`;
+    /// [`CoreError::Numerics`] when the `E[W_{+1}]` quadrature fails to
+    /// converge at a scan point.
+    pub fn threshold(&self) -> Result<Option<f64>, CoreError> {
         let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_DYNAMIC);
         let r = self.model.r;
-        let diff = |w: f64| self.expect_checkpoint_now(w) - self.expect_one_more(w);
+        let success = |c: f64| self.model.success_within(c);
+        let exact_diff = |w: f64| -> Result<f64, CoreError> {
+            let one_more = self.task.expected_one_more_checked(w.max(0.0), r, &success)?;
+            Ok(self.expect_checkpoint_now(w) - one_more)
+        };
         const POINTS: usize = 96;
         let step = r / POINTS as f64;
         let mut prev_w = 0.0;
-        let mut prev_d = diff(0.0);
+        let mut prev_d = exact_diff(0.0)?;
         for i in 1..=POINTS {
             let w = step * i as f64;
-            let d = diff(w);
+            let d = exact_diff(w)?;
             if prev_d < 0.0 && d >= 0.0 {
+                // Brent refinement on the plain diff over the identical
+                // bracket — bit-identical to the pre-checked behavior.
+                let diff = |w: f64| self.expect_checkpoint_now(w) - self.expect_one_more(w);
                 let root = resq_numerics::brent_root(diff, prev_w, w, 1e-9);
-                return Some(root.unwrap_or(w));
+                return Ok(Some(root.unwrap_or(w)));
             }
             prev_w = w;
             prev_d = d;
         }
-        if prev_d >= 0.0 {
-            Some(0.0)
-        } else {
-            None
-        }
+        Ok(if prev_d >= 0.0 { Some(0.0) } else { None })
     }
 }
 
@@ -1003,8 +1050,8 @@ mod tests {
             RetryPolicy::Immediate { max_attempts: 3 },
         )
         .unwrap();
-        let a = paper.optimize();
-        let b = aware.optimize();
+        let a = paper.optimize().unwrap();
+        let b = aware.optimize().unwrap();
         assert_eq!(a.n_opt, b.n_opt);
         assert!((a.expected_work - b.expected_work).abs() < 1e-6);
     }
@@ -1022,6 +1069,7 @@ mod tests {
             )
             .unwrap()
             .optimize()
+            .unwrap()
         };
         let reliable = mk(CheckpointReliability::Reliable);
         let flaky = mk(CheckpointReliability::PerAttempt { p: 0.6 });
@@ -1041,7 +1089,7 @@ mod tests {
             RetryPolicy::Immediate { max_attempts: 3 },
         )
         .unwrap();
-        match (paper.threshold(), aware.threshold()) {
+        match (paper.threshold().unwrap(), aware.threshold().unwrap()) {
             (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{a} vs {b}"),
             (a, b) => panic!("threshold mismatch: {a:?} vs {b:?}"),
         }
@@ -1063,6 +1111,6 @@ mod tests {
             assert!(aware.expect_checkpoint_now(w) <= w);
         }
         // A threshold still exists for this comfortable configuration.
-        assert!(aware.threshold().is_some());
+        assert!(aware.threshold().unwrap().is_some());
     }
 }

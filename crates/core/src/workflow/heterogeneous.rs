@@ -172,8 +172,12 @@ impl<X: TaskDuration + Continuous, C: Continuous> HeterogeneousDynamic<X, C> {
     /// This is the exact dynamic-programming optimum (up to grid
     /// resolution) over *all* stopping rules; the paper's one-step rule
     /// is a (very good) lower bound that the test-suite compares against.
-    /// Requires `Continuous` task laws (needs densities).
-    pub fn solve_dp(&self, grid: usize) -> DpSolution {
+    /// Requires `Continuous` task laws (needs densities). The
+    /// continuation-value quadrature is convergence-checked:
+    /// non-convergence at any grid point surfaces as
+    /// [`CoreError::Numerics`] instead of silently corrupting every
+    /// stage upstream of it.
+    pub fn solve_dp(&self, grid: usize) -> Result<DpSolution, CoreError> {
         let grid = grid.max(16);
         let n_stages = self.stages.len();
         let step = self.r / (grid - 1) as f64;
@@ -208,7 +212,7 @@ impl<X: TaskDuration + Continuous, C: Continuous> HeterogeneousDynamic<X, C> {
                 let cont = if hi <= lo {
                     0.0
                 } else {
-                    resq_numerics::adaptive_simpson(
+                    resq_numerics::adaptive_simpson_checked(
                         |x| {
                             let v = task.pdf(x) * interp(&v_next, w + x);
                             if v.is_finite() {
@@ -220,7 +224,7 @@ impl<X: TaskDuration + Continuous, C: Continuous> HeterogeneousDynamic<X, C> {
                         lo,
                         hi,
                         1e-9,
-                    )
+                    )?
                     .value
                 };
                 v_here[i] = stop.max(cont);
@@ -231,10 +235,10 @@ impl<X: TaskDuration + Continuous, C: Continuous> HeterogeneousDynamic<X, C> {
             thresholds[stage] = first_stop;
             v_next = v_here;
         }
-        DpSolution {
+        Ok(DpSolution {
             value_at_start: v_next[0],
             stage_thresholds: thresholds,
-        }
+        })
     }
 }
 
@@ -332,7 +336,7 @@ mod tests {
         // start value exceeds the best single-decision plan E(n) style
         // bound: checkpoint after the DP's own first-stage threshold).
         let chain = iid_chain(12, 29.0);
-        let dp = chain.solve_dp(400);
+        let dp = chain.solve_dp(400).unwrap();
         assert!(dp.value_at_start > 0.0);
         // The IID threshold policy's analytic value is bounded by oracle
         // R − E[C] ≈ 24; DP must also respect that bound.
@@ -344,7 +348,8 @@ mod tests {
             29.0,
         )
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
         assert!(
             dp.value_at_start >= static_plan.expected_work - 0.05,
             "DP {} < static {}",
@@ -362,6 +367,7 @@ mod tests {
         let iid_w = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), 29.0)
             .unwrap()
             .threshold()
+            .unwrap()
             .unwrap();
         for (n, t) in thresholds.iter().enumerate().take(12) {
             let t = t.expect("threshold exists");
@@ -377,7 +383,7 @@ mod tests {
     #[test]
     fn dp_thresholds_are_sane() {
         let chain = iid_chain(12, 29.0);
-        let dp = chain.solve_dp(400);
+        let dp = chain.solve_dp(400).unwrap();
         // Early stages: stopping should not be optimal at tiny work
         // levels; the recorded threshold (if any) should be substantial.
         if let Some(t0) = dp.stage_thresholds[0] {

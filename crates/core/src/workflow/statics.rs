@@ -12,9 +12,12 @@
 //! and takes `n_opt` as the better of `⌊y_opt⌋` / `⌈y_opt⌉`.
 
 use crate::error::CoreError;
+use crate::solve_cache::{segments_for_window, SolveCache};
 use crate::workflow::sum_law::IidSum;
 use resq_dist::Continuous;
-use resq_numerics::{grid_max, round_to_better_integer, GridSpec, LatticeCache, NeumaierSum};
+use resq_numerics::{
+    grid_max, round_to_better_integer, GaussLegendre, GridSpec, LatticeCache, NeumaierSum,
+};
 
 /// The static plan: checkpoint after `n_opt` tasks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +42,7 @@ pub struct StaticPlan {
 /// // Figure 5: tasks ~ N(3, 0.5²), C ~ N[0,∞)(5, 0.4²), R = 30.
 /// let ckpt = Truncated::above(Normal::new(5.0, 0.4)?, 0.0)?;
 /// let s = StaticStrategy::new(Normal::new(3.0, 0.5)?, ckpt, 30.0)?;
-/// let plan = s.optimize();
+/// let plan = s.optimize()?;
 /// assert_eq!(plan.n_opt, 7);                      // paper: n_opt = 7
 /// assert!((s.expected_work(7) - 20.9).abs() < 0.2);
 /// # Ok::<(), resq_core::CoreError>(())
@@ -135,13 +138,60 @@ impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
         self.expected_work_relaxed(n as f64)
     }
 
-    /// [`StaticStrategy::expected_work_relaxed`] with the fit probability
-    /// `P(C ≤ R−x)` served from a precomputed lattice instead of being
-    /// re-evaluated at every quadrature node — the search-phase fast
-    /// path. Accuracy is the lattice's interpolation error (second order
-    /// in the step), which is why [`StaticStrategy::optimize`] only uses
-    /// this to *locate* the optimum and re-evaluates the winner exactly.
-    fn expected_work_relaxed_memoized(&self, y: f64, fit: &LatticeCache) -> f64 {
+    /// [`StaticStrategy::expected_work_relaxed`] through the
+    /// convergence-checked integrator: identical value when quadrature
+    /// converges (same integrand, same tolerance, same evaluation
+    /// order), a typed [`CoreError::Numerics`] when it does not. The
+    /// discrete branch is a finite sum and cannot fail.
+    pub fn expected_work_relaxed_checked(&self, y: f64) -> Result<f64, CoreError> {
+        if !(y > 0.0) {
+            return Ok(0.0);
+        }
+        if self.tasks.is_discrete() {
+            return Ok(self.expected_work_relaxed(y));
+        }
+        let (lo, hi) = self.tasks.sum_bounds(y);
+        let hi = hi.min(self.r);
+        if hi <= lo {
+            return Ok(0.0);
+        }
+        let r = resq_numerics::adaptive_simpson_checked(
+            |x| x * self.fit_probability(self.r - x) * self.tasks.sum_density(y, x),
+            lo,
+            hi,
+            1e-11,
+        )?;
+        Ok(r.value)
+    }
+
+    /// Relative agreement demanded of the two Gauss–Legendre resolutions
+    /// before the fast search objective trusts them; the fit lattice's
+    /// own interpolation error is ~1e-5-scale, so asking the quadrature
+    /// for more would be wasted work.
+    const GL_SEARCH_TOL: f64 = 1e-6;
+
+    /// The search-phase fast objective: the fit probability `P(C ≤ R−x)`
+    /// served from a precomputed lattice, the sum density with per-`y`
+    /// constants hoisted ([`IidSum::sum_density_fn`]), and fixed-order
+    /// Gauss–Legendre quadrature with an a-posteriori two-resolution
+    /// check ([`resq_numerics::gauss_legendre_checked_from`]) in place of
+    /// adaptive Simpson. The panels are sized so the checkpoint law's CDF
+    /// shoulder (`shoulder`, see [`ckpt_shoulder`](Self::ckpt_shoulder))
+    /// spans at least one segment — without that hint the default
+    /// 2/4-segment pair aliases the shoulder whenever the integration
+    /// window is clamped at `x = R`, and every such evaluation silently
+    /// pays the adaptive fallback. Accuracy is lattice interpolation
+    /// error plus `GL_SEARCH_TOL` — plenty to *locate* the optimum,
+    /// which is why [`StaticStrategy::optimize`] re-evaluates the winner
+    /// through the exact reference path.
+    fn expected_work_relaxed_fast(
+        &self,
+        y: f64,
+        fit: &LatticeCache,
+        gl: &GaussLegendre,
+        shoulder: f64,
+    ) -> f64 {
+        let _obj = resq_obs::span::enter(resq_obs::span_name::SOLVE_OBJECTIVE);
         if !(y > 0.0) {
             return 0.0;
         }
@@ -150,36 +200,61 @@ impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
         if hi <= lo {
             return 0.0;
         }
-        resq_numerics::adaptive_simpson(
-            |x| {
-                let c = self.r - x;
-                if c <= 0.0 {
-                    return 0.0;
-                }
-                x * fit.eval(c) * self.tasks.sum_density(y, x)
-            },
+        let segments = segments_for_window(hi - lo, shoulder);
+        let density = self.tasks.sum_density_fn(y);
+        let mut integrand = |x: f64| {
+            let c = self.r - x;
+            if c <= 0.0 {
+                return 0.0;
+            }
+            x * fit.eval(c) * density(x)
+        };
+        match resq_numerics::gauss_legendre_checked_from(
+            gl,
+            &mut integrand,
             lo,
             hi,
+            segments,
+            Self::GL_SEARCH_TOL,
             1e-11,
-        )
-        .value
+        ) {
+            Ok(q) => q.value,
+            // Search phase only: best-effort is fine on a genuinely hard
+            // integrand; the winner is re-evaluated through the checked
+            // reference path regardless.
+            Err(_) => resq_numerics::adaptive_simpson(integrand, lo, hi, 1e-11).value,
+        }
     }
 
-    /// Cells in the search-phase fit-probability lattice: step `R/4096`,
-    /// interpolation error `≲ (R/4096)²·max|pdf′|/8` — far below the
-    /// `xtol`-level resolution the relaxed search needs.
-    const FIT_LATTICE_CELLS: usize = 4096;
+    /// Width of the checkpoint law's central quantile mass — the
+    /// narrowest feature the fast integrand carries once the integration
+    /// window is wider than the task-sum bulk (which the window is built
+    /// from and always resolves). Computed once per search and fed to
+    /// [`segments_for_window`].
+    fn ckpt_shoulder(&self) -> f64 {
+        self.ckpt.quantile(0.999) - self.ckpt.quantile(0.001)
+    }
 
     /// Maximizes the relaxation over `y` and settles `n_opt` as the better
-    /// of `⌊y_opt⌋` / `⌈y_opt⌉` (the paper's prescription).
+    /// of `⌊y_opt⌋` / `⌈y_opt⌉` (the paper's prescription), with a fresh
+    /// per-call [`SolveCache`]. Sweeps solving many nearby instances
+    /// should share one cache via [`StaticStrategy::optimize_with`].
+    pub fn optimize(&self) -> Result<StaticPlan, CoreError> {
+        self.optimize_with(&mut SolveCache::new())
+    }
+
+    /// [`StaticStrategy::optimize`] reusing `cache` across calls.
     ///
-    /// The grid/golden-section search memoizes the checkpoint-fit
-    /// probability on a lattice over `[0, R]` (it is the same function at
-    /// every `y`, evaluated at hundreds of quadrature nodes per
-    /// candidate); the reported `relaxed_value` and `expected_work` are
-    /// re-evaluated through the exact path at the located optimum, so
-    /// memoization only steers the search, never the answer.
-    pub fn optimize(&self) -> StaticPlan {
+    /// The search runs on the fast objective — cached fit-probability
+    /// lattice, hoisted sum-density kernels, fixed-order Gauss–Legendre
+    /// (continuous families) or a precomputed fit row plus the pmf
+    /// recurrence batch (discrete families). The reported `n_opt`,
+    /// `expected_work` and `relaxed_value` are then re-evaluated through
+    /// the exact, convergence-checked reference path at the located
+    /// optimum: the fast objective only steers the search, never the
+    /// answer, and quadrature non-convergence on the reported values
+    /// surfaces as [`CoreError::Numerics`].
+    pub fn optimize_with(&self, cache: &mut SolveCache) -> Result<StaticPlan, CoreError> {
         let _span = resq_obs::span::enter(resq_obs::span_name::SOLVE_STATIC);
         // Beyond R/E[X] (plus slack for variance) the sum exceeds R a.s.
         // and E(y) → 0; cap the search there.
@@ -188,34 +263,69 @@ impl<T: IidSum, C: Continuous> StaticStrategy<T, C> {
             points: 256,
             xtol: 1e-8,
         };
-        // The discrete (Poisson) relaxation evaluates the fit probability
-        // at only ⌊R⌋+1 integer points per candidate — nothing to
-        // memoize there.
         let e = if self.tasks.is_discrete() {
-            grid_max(|y| self.expected_work_relaxed(y), 1e-3, y_max, spec)
-        } else {
-            let fit = LatticeCache::build(
-                |c| self.fit_probability(c),
-                0.0,
-                self.r,
-                Self::FIT_LATTICE_CELLS,
-            );
+            // The fit probabilities at the ⌊R⌋+1 integer points never
+            // change across candidates: precompute the row once, and get
+            // each candidate's mass row from the recurrence batch
+            // instead of ⌊R⌋+1 log-space pmf evaluations.
+            let jmax = self.r.floor() as u64;
+            let fit: Vec<f64> = (0..=jmax)
+                .map(|j| self.fit_probability(self.r - j as f64))
+                .collect();
             grid_max(
-                |y| self.expected_work_relaxed_memoized(y, &fit),
+                |y| {
+                    let _obj = resq_obs::span::enter(resq_obs::span_name::SOLVE_OBJECTIVE);
+                    if !(y > 0.0) {
+                        return 0.0;
+                    }
+                    let masses = self.tasks.sum_mass_batch(y, jmax);
+                    let mut acc = NeumaierSum::new();
+                    for (j, (&p, &mass)) in fit.iter().zip(&masses).enumerate().skip(1) {
+                        if p > 0.0 {
+                            acc.add(j as f64 * p * mass);
+                        }
+                    }
+                    acc.value()
+                },
+                1e-3,
+                y_max,
+                spec,
+            )
+        } else {
+            let fit = cache.fit_lattice(&self.ckpt, self.r);
+            let shoulder = self.ckpt_shoulder();
+            grid_max(
+                |y| self.expected_work_relaxed_fast(y, &fit, cache.gl(), shoulder),
                 1e-3,
                 y_max,
                 spec,
             )
         };
         let n_hi = (y_max.ceil() as u64).max(2);
-        let (n_opt, expected_work) =
-            round_to_better_integer(|n| self.expected_work(n), e.x, 1, n_hi);
-        StaticPlan {
+        // Settle the winner on the exact reference path, surfacing any
+        // quadrature non-convergence instead of folding it into the max.
+        let mut quad_err: Option<CoreError> = None;
+        let (n_opt, expected_work) = round_to_better_integer(
+            |n| match self.expected_work_relaxed_checked(n as f64) {
+                Ok(v) => v,
+                Err(err) => {
+                    quad_err.get_or_insert(err);
+                    f64::NAN
+                }
+            },
+            e.x,
+            1,
+            n_hi,
+        );
+        if let Some(err) = quad_err {
+            return Err(err);
+        }
+        Ok(StaticPlan {
             y_opt: e.x,
-            relaxed_value: self.expected_work_relaxed(e.x),
+            relaxed_value: self.expected_work_relaxed_checked(e.x)?,
             n_opt,
             expected_work,
-        }
+        })
     }
 }
 
@@ -258,7 +368,7 @@ mod tests {
             30.0,
         )
         .unwrap();
-        let plan = s.optimize();
+        let plan = s.optimize().unwrap();
         assert!((plan.y_opt - 7.4).abs() < 0.15, "y_opt {}", plan.y_opt);
         assert_eq!(plan.n_opt, 7);
         let f7 = s.expected_work(7);
@@ -278,7 +388,7 @@ mod tests {
             10.0,
         )
         .unwrap();
-        let plan = s.optimize();
+        let plan = s.optimize().unwrap();
         assert!((plan.y_opt - 11.8).abs() < 0.3, "y_opt {}", plan.y_opt);
         assert_eq!(plan.n_opt, 12);
         let g11 = s.expected_work(11);
@@ -293,7 +403,7 @@ mod tests {
         // Fig 7: λ=3, μC=5, σC=0.4, R=29.
         // Paper: y_opt ≈ 5.98, h(5) ≈ 14.6, h(6) ≈ 15.8, n_opt = 6.
         let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
-        let plan = s.optimize();
+        let plan = s.optimize().unwrap();
         assert!((plan.y_opt - 5.98).abs() < 0.15, "y_opt {}", plan.y_opt);
         assert_eq!(plan.n_opt, 6);
         let h5 = s.expected_work(5);
@@ -304,29 +414,67 @@ mod tests {
     }
 
     #[test]
-    fn memoized_relaxation_tracks_exact_relaxation() {
-        // The lattice-served search objective must agree with the exact
-        // relaxation to within interpolation error everywhere the search
-        // looks — this is what justifies steering on it.
+    fn fast_relaxation_tracks_exact_relaxation() {
+        // The fast search objective (lattice-served fit probability +
+        // fixed-order Gauss–Legendre) must agree with the exact
+        // relaxation everywhere the search looks — this is what
+        // justifies steering on it.
         let s = StaticStrategy::new(
             Normal::new(3.0, 0.5).unwrap(),
             ckpt(5.0, 0.4),
             30.0,
         )
         .unwrap();
-        let fit = LatticeCache::build(
-            |c| s.fit_probability(c),
-            0.0,
-            30.0,
-            StaticStrategy::<Normal, Truncated<Normal>>::FIT_LATTICE_CELLS,
-        );
+        let mut cache = SolveCache::new();
+        let fit = cache.fit_lattice(s.checkpoint_law(), 30.0);
         for k in 1..=40 {
             let y = 0.25 * k as f64;
             let exact = s.expected_work_relaxed(y);
-            let memo = s.expected_work_relaxed_memoized(y, &fit);
-            // Bound: h²·max|F_C″|/8 ≈ (30/4096)²·1.5/8 ≈ 1e-5.
-            assert!((exact - memo).abs() < 5e-5, "y = {y}: {exact} vs {memo}");
+            let fast = s.expected_work_relaxed_fast(y, &fit, cache.gl(), s.ckpt_shoulder());
+            // Budget: lattice interpolation (~1e-5 on the CDF, scaled by
+            // the ~20-unit integral) plus the GL agreement tolerance.
+            assert!((exact - fast).abs() < 5e-4, "y = {y}: {exact} vs {fast}");
         }
+    }
+
+    #[test]
+    fn checked_relaxation_is_bit_identical_to_reference() {
+        let s = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            ckpt(5.0, 0.4),
+            30.0,
+        )
+        .unwrap();
+        for k in 1..=30 {
+            let y = 0.35 * k as f64;
+            assert_eq!(
+                s.expected_work_relaxed_checked(y).unwrap().to_bits(),
+                s.expected_work_relaxed(y).to_bits(),
+                "y = {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_repeat_solves() {
+        use resq_obs::metrics::Snapshot;
+        let s = StaticStrategy::new(
+            Normal::new(3.0, 0.5).unwrap(),
+            ckpt(5.0, 0.4),
+            30.0,
+        )
+        .unwrap();
+        let mut cache = SolveCache::new();
+        let before = Snapshot::capture();
+        let a = s.optimize_with(&mut cache).unwrap();
+        let b = s.optimize_with(&mut cache).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1, "one law+R pair, one lattice");
+        let delta = Snapshot::capture().delta(&before);
+        assert!(delta.counter("solver_cache_misses_total") >= 1);
+        assert!(delta.counter("solver_cache_hits_total") >= 1, "second solve must hit");
+        // A fresh-per-call cache (the plain entry point) must agree.
+        assert_eq!(s.optimize().unwrap(), a);
     }
 
     #[test]
@@ -354,7 +502,7 @@ mod tests {
             12.0,
         )
         .unwrap();
-        let plan = s.optimize();
+        let plan = s.optimize().unwrap();
         for n in 1..=(plan.n_opt + 10) {
             assert!(
                 s.expected_work(n) <= plan.expected_work + 1e-9,

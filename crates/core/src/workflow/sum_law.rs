@@ -38,6 +38,33 @@ pub trait IidSum {
     fn is_discrete(&self) -> bool {
         false
     }
+
+    /// Probability masses `[pmf_{S_y}(0), …, pmf_{S_y}(jmax)]` for
+    /// discrete families — the whole row the §4.2.3 sum needs, in one
+    /// call.
+    ///
+    /// The default evaluates [`IidSum::sum_density`] per term; discrete
+    /// families override it with a recurrence (Poisson: one multiply and
+    /// divide per term instead of `ln_factorial` + `exp`). Overrides are
+    /// *search-phase* accelerators: they may differ from the per-term
+    /// path in the last few ulps, which is why
+    /// `StaticStrategy::optimize` re-evaluates the winning `n` through
+    /// [`IidSum::sum_density`].
+    fn sum_mass_batch(&self, y: f64, jmax: u64) -> Vec<f64> {
+        (0..=jmax).map(|j| self.sum_density(y, j as f64)).collect()
+    }
+
+    /// The density `x ↦ f_{S_y}(x)` with every `x`-independent quantity
+    /// precomputed — the per-quadrature-node fast path for continuous
+    /// families.
+    ///
+    /// The default closes over [`IidSum::sum_density`]; families whose
+    /// density has expensive per-`y` constants (Gamma's `ln Γ(yk)`)
+    /// override it. Overrides must agree with `sum_density` to a few
+    /// ulps; like [`IidSum::sum_mass_batch`] they only steer searches.
+    fn sum_density_fn(&self, y: f64) -> Box<dyn Fn(f64) -> f64 + '_> {
+        Box::new(move |x| self.sum_density(y, x))
+    }
 }
 
 impl IidSum for Normal {
@@ -58,6 +85,12 @@ impl IidSum for Normal {
 
     fn task_std_dev(&self) -> f64 {
         self.sigma()
+    }
+
+    fn sum_density_fn(&self, y: f64) -> Box<dyn Fn(f64) -> f64 + '_> {
+        let m = y * self.mu();
+        let sd = y.sqrt() * self.sigma();
+        Box::new(move |x| norm_pdf((x - m) / sd) / sd)
     }
 }
 
@@ -92,6 +125,24 @@ impl IidSum for Gamma {
     fn task_std_dev(&self) -> f64 {
         self.std_dev()
     }
+
+    fn sum_density_fn(&self, y: f64) -> Box<dyn Fn(f64) -> f64 + '_> {
+        // Hoist the expensive per-y constants: ln Γ(yk) and yk·ln θ.
+        let shape = y * self.shape();
+        let inv_scale = 1.0 / self.scale();
+        let ln_norm = ln_gamma(shape) + shape * self.scale().ln();
+        Box::new(move |x| {
+            if x <= 0.0 {
+                return 0.0;
+            }
+            let v = ((shape - 1.0) * x.ln() - x * inv_scale - ln_norm).exp();
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
 }
 
 impl IidSum for Poisson {
@@ -116,6 +167,28 @@ impl IidSum for Poisson {
 
     fn is_discrete(&self) -> bool {
         true
+    }
+
+    fn sum_mass_batch(&self, y: f64, jmax: u64) -> Vec<f64> {
+        let rate = y * self.lambda();
+        // The recurrence seeds on exp(−rate); near the f64 underflow
+        // boundary (−rate ≲ −700) that is 0 and every term degenerates,
+        // so fall back to the log-space per-term path there. Solver
+        // rates are R/E[X]-scale — far below this.
+        if rate > 600.0 {
+            return (0..=jmax).map(|j| self.sum_density(y, j as f64)).collect();
+        }
+        // p₀ = e^{−rate}, p_{j+1} = p_j · rate/(j+1): one multiply and
+        // one divide per mass, ~1e-14 relative drift over solver-scale
+        // rows vs the ln_factorial + exp reference.
+        let mut masses = Vec::with_capacity(jmax as usize + 1);
+        let mut p = (-rate).exp();
+        masses.push(p);
+        for j in 0..jmax {
+            p *= rate / (j + 1) as f64;
+            masses.push(p);
+        }
+        masses
     }
 }
 
@@ -185,6 +258,50 @@ mod tests {
         let task = Gamma::new(1.0, 0.5).unwrap();
         let v = task.sum_density(0.5, 0.0);
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn mass_batch_matches_per_term_reference() {
+        let task = Poisson::new(3.0).unwrap();
+        for &y in &[0.7, 5.98, 9.3] {
+            let batch = task.sum_mass_batch(y, 60);
+            for (j, &p) in batch.iter().enumerate() {
+                let want = task.sum_density(y, j as f64);
+                let scale = want.abs().max(1e-300);
+                assert!(
+                    ((p - want) / scale).abs() < 1e-11,
+                    "y={y} j={j}: {p} vs {want}"
+                );
+            }
+        }
+        // Underflow guard: a huge rate routes through the log-space path.
+        // S_8 ~ Poisson(800); the row must cover the upper tail too —
+        // P(S > 1100) ≈ e^{-50} — before its mass sums to 1.
+        let big = Poisson::new(100.0).unwrap();
+        let batch = big.sum_mass_batch(8.0, 1100);
+        assert!(batch.iter().all(|p| p.is_finite()));
+        assert!((batch.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_fn_matches_sum_density() {
+        let normal = Normal::new(3.0, 0.5).unwrap();
+        let gamma = Gamma::new(1.0, 0.5).unwrap();
+        for &y in &[0.5, 7.4, 11.8] {
+            let nf = IidSum::sum_density_fn(&normal, y);
+            let gf = IidSum::sum_density_fn(&gamma, y);
+            for k in 0..60 {
+                let x = 0.5 * k as f64;
+                assert!(
+                    (nf(x) - IidSum::sum_density(&normal, y, x)).abs() < 1e-13,
+                    "normal y={y} x={x}"
+                );
+                assert!(
+                    (gf(x) - IidSum::sum_density(&gamma, y, x)).abs() < 1e-13,
+                    "gamma y={y} x={x}"
+                );
+            }
+        }
     }
 
     #[test]

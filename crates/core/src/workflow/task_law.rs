@@ -13,7 +13,12 @@
 
 use rand::RngCore;
 use resq_dist::{Continuous, Discrete, Distribution, Poisson, Sample};
-use resq_numerics::NeumaierSum;
+use resq_numerics::{GaussLegendre, LatticeCache, NeumaierSum};
+
+/// Relative agreement demanded of the two Gauss–Legendre resolutions
+/// before [`TaskDuration::expected_one_more_fast`] trusts them (see
+/// `StaticStrategy::GL_SEARCH_TOL` for the matching static-side budget).
+const GL_FAST_TOL: f64 = 1e-6;
 
 /// A task-duration law usable by the dynamic strategy and the simulator.
 pub trait TaskDuration {
@@ -21,6 +26,52 @@ pub trait TaskDuration {
     /// `budget = R − w` — the expected work saved when running exactly one
     /// more task and then checkpointing. `ckpt_cdf` is `c ↦ P(C ≤ c)`.
     fn expected_one_more(&self, w: f64, r: f64, ckpt_cdf: &dyn Fn(f64) -> f64) -> f64;
+
+    /// [`TaskDuration::expected_one_more`] through the
+    /// convergence-checked integrator: identical value when quadrature
+    /// converges, a typed error when it does not. The default forwards
+    /// to the infallible path (correct for finite-sum laws like
+    /// Poisson); continuous laws override it.
+    fn expected_one_more_checked(
+        &self,
+        w: f64,
+        r: f64,
+        ckpt_cdf: &dyn Fn(f64) -> f64,
+    ) -> Result<f64, crate::error::CoreError> {
+        Ok(self.expected_one_more(w, r, ckpt_cdf))
+    }
+
+    /// Fast approximation of [`TaskDuration::expected_one_more`]: the
+    /// checkpoint CDF served from a precomputed lattice over `[0, R]`
+    /// and fixed-order Gauss–Legendre quadrature with a two-resolution
+    /// agreement check. `feature` is the narrowest integrand feature the
+    /// caller knows about (the checkpoint law's CDF-shoulder width,
+    /// already min-combined with [`TaskDuration::fast_kernel_feature`])
+    /// and sizes the quadrature panels so the check resolutions sample
+    /// that feature instead of aliasing it. Returns `None` when the law
+    /// has no fast kernel or the resolutions disagree — callers fall
+    /// back to the exact path. This is a *search/bracketing* accelerator
+    /// only; decisions and reported values must come from the exact path
+    /// (see `DynamicStrategy::threshold_with`).
+    fn expected_one_more_fast(
+        &self,
+        _w: f64,
+        _r: f64,
+        _fit: &LatticeCache,
+        _gl: &GaussLegendre,
+        _feature: f64,
+    ) -> Option<f64> {
+        None
+    }
+
+    /// Width of this law's own density bulk (central 99.8% quantile
+    /// range) — the feature the fast kernel's quadrature must resolve on
+    /// top of whatever the caller knows about the checkpoint law.
+    /// `None` for laws without a fast kernel; hoisted once per threshold
+    /// scan rather than recomputed at every scan point.
+    fn fast_kernel_feature(&self) -> Option<f64> {
+        None
+    }
 
     /// Mean task duration.
     fn mean_duration(&self) -> f64;
@@ -81,6 +132,92 @@ pub fn continuous_expected_one_more<D: Continuous>(
     .value
 }
 
+/// [`continuous_expected_one_more`] through the convergence-checked
+/// integrator: same integrand, same tolerance, same evaluation order —
+/// bit-identical value when quadrature converges — but non-convergence
+/// surfaces as a typed error instead of a silently wrong number.
+pub fn continuous_expected_one_more_checked<D: Continuous>(
+    task: &D,
+    w: f64,
+    r: f64,
+    ckpt_cdf: &dyn Fn(f64) -> f64,
+) -> Result<f64, resq_numerics::NumericsError> {
+    let budget = r - w;
+    if budget <= 0.0 {
+        return Ok(0.0);
+    }
+    let (lo, hi) = task.support();
+    let lo = lo.max(0.0);
+    let hi = hi.min(budget);
+    if hi <= lo {
+        return Ok(0.0);
+    }
+    let q = resq_numerics::adaptive_simpson_checked(
+        |x| {
+            let p = ckpt_cdf(budget - x);
+            if p <= 0.0 {
+                return 0.0;
+            }
+            let v = (x + w) * p * task.pdf(x);
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        },
+        lo,
+        hi,
+        1e-11,
+    )?;
+    Ok(q.value)
+}
+
+/// Fast `E[W_{+1}]` for a continuous law: lattice-served checkpoint CDF
+/// plus fixed-order Gauss–Legendre at two resolutions, panels sized so a
+/// `feature`-wide structure spans at least one segment
+/// (`segments_for_window`). `None` when the resolutions disagree beyond
+/// `GL_FAST_TOL` (callers use the exact path for that point).
+pub fn continuous_expected_one_more_fast<D: Continuous>(
+    task: &D,
+    w: f64,
+    r: f64,
+    fit: &LatticeCache,
+    gl: &GaussLegendre,
+    feature: f64,
+) -> Option<f64> {
+    let budget = r - w;
+    if budget <= 0.0 {
+        return Some(0.0);
+    }
+    let (lo, hi) = task.support();
+    let lo = lo.max(0.0);
+    let hi = hi.min(budget);
+    if hi <= lo {
+        return Some(0.0);
+    }
+    let segments = crate::solve_cache::segments_for_window(hi - lo, feature);
+    let mut integrand = |x: f64| {
+        let p = fit.eval(budget - x);
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let v = (x + w) * p * task.pdf(x);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    };
+    let coarse = gl.integrate_composite(&mut integrand, lo, hi, segments);
+    let fine = gl.integrate_composite(&mut integrand, lo, hi, 2 * segments);
+    let err = (fine - coarse).abs();
+    if fine.is_finite() && err <= GL_FAST_TOL * (1.0 + fine.abs()) {
+        Some(fine)
+    } else {
+        None
+    }
+}
+
 /// Implements [`TaskDuration`] for a continuous law through
 /// [`continuous_expected_one_more`]. (A blanket impl over
 /// `D: Continuous + Sample` would conflict with the dedicated Poisson
@@ -95,6 +232,27 @@ macro_rules! impl_continuous_task {
                 ckpt_cdf: &dyn Fn(f64) -> f64,
             ) -> f64 {
                 continuous_expected_one_more(self, w, r, ckpt_cdf)
+            }
+            fn expected_one_more_checked(
+                &self,
+                w: f64,
+                r: f64,
+                ckpt_cdf: &dyn Fn(f64) -> f64,
+            ) -> Result<f64, crate::error::CoreError> {
+                Ok(continuous_expected_one_more_checked(self, w, r, ckpt_cdf)?)
+            }
+            fn expected_one_more_fast(
+                &self,
+                w: f64,
+                r: f64,
+                fit: &LatticeCache,
+                gl: &GaussLegendre,
+                feature: f64,
+            ) -> Option<f64> {
+                continuous_expected_one_more_fast(self, w, r, fit, gl, feature)
+            }
+            fn fast_kernel_feature(&self) -> Option<f64> {
+                Some(self.quantile(0.999) - self.quantile(0.001))
             }
             fn mean_duration(&self) -> f64 {
                 self.mean()
@@ -122,6 +280,30 @@ impl_continuous_task!(
 impl<D: Continuous + Sample> TaskDuration for resq_dist::Truncated<D> {
     fn expected_one_more(&self, w: f64, r: f64, ckpt_cdf: &dyn Fn(f64) -> f64) -> f64 {
         continuous_expected_one_more(self, w, r, ckpt_cdf)
+    }
+
+    fn expected_one_more_checked(
+        &self,
+        w: f64,
+        r: f64,
+        ckpt_cdf: &dyn Fn(f64) -> f64,
+    ) -> Result<f64, crate::error::CoreError> {
+        Ok(continuous_expected_one_more_checked(self, w, r, ckpt_cdf)?)
+    }
+
+    fn expected_one_more_fast(
+        &self,
+        w: f64,
+        r: f64,
+        fit: &LatticeCache,
+        gl: &GaussLegendre,
+        feature: f64,
+    ) -> Option<f64> {
+        continuous_expected_one_more_fast(self, w, r, fit, gl, feature)
+    }
+
+    fn fast_kernel_feature(&self) -> Option<f64> {
+        Some(self.quantile(0.999) - self.quantile(0.001))
     }
 
     fn mean_duration(&self) -> f64 {
@@ -153,6 +335,33 @@ impl TaskDuration for Poisson {
             }
         }
         acc.value()
+    }
+
+    fn expected_one_more_fast(
+        &self,
+        w: f64,
+        r: f64,
+        fit: &LatticeCache,
+        _gl: &GaussLegendre,
+        _feature: f64,
+    ) -> Option<f64> {
+        // The finite sum needs no quadrature — the win is serving the
+        // checkpoint CDF from the lattice instead of the full tail
+        // computation at every integer point.
+        let budget = r - w;
+        if budget <= 0.0 {
+            return Some(0.0);
+        }
+        let jmax = budget.floor() as u64;
+        let mut acc = NeumaierSum::new();
+        for j in 0..=jmax {
+            let jf = j as f64;
+            let p = fit.eval(budget - jf);
+            if p > 0.0 {
+                acc.add((jf + w) * p * self.pmf(j));
+            }
+        }
+        Some(acc.value())
     }
 
     fn mean_duration(&self) -> f64 {
@@ -209,6 +418,50 @@ mod tests {
         let tight = task.expected_one_more(25.0, 29.0, &g);
         assert!(loose > 15.0, "loose {loose}");
         assert!(tight < 1.0, "tight {tight}");
+    }
+
+    #[test]
+    fn checked_one_more_is_bit_identical_to_reference() {
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let g = ckpt_cdf(5.0, 0.4);
+        for k in 0..29 {
+            let w = k as f64;
+            assert_eq!(
+                task.expected_one_more_checked(w, 29.0, &g).unwrap().to_bits(),
+                task.expected_one_more(w, 29.0, &g).to_bits(),
+                "w = {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_one_more_tracks_exact() {
+        let law = Truncated::above(Normal::new(5.0, 0.4).unwrap(), 0.0).unwrap();
+        let fit = LatticeCache::build(
+            |c| if c <= 0.0 { 0.0 } else { law.cdf(c) },
+            0.0,
+            29.0,
+            4096,
+        );
+        let gl = GaussLegendre::new(20);
+        let g = ckpt_cdf(5.0, 0.4);
+
+        let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
+        let poisson = Poisson::new(3.0).unwrap();
+        let feature = (law.quantile(0.999) - law.quantile(0.001))
+            .min(task.fast_kernel_feature().expect("continuous law has a fast kernel"));
+        for k in 0..58 {
+            let w = 0.5 * k as f64;
+            if let Some(fast) = task.expected_one_more_fast(w, 29.0, &fit, &gl, feature) {
+                let exact = task.expected_one_more(w, 29.0, &g);
+                assert!((fast - exact).abs() < 5e-4, "w = {w}: {fast} vs {exact}");
+            }
+            let pfast = poisson
+                .expected_one_more_fast(w, 29.0, &fit, &gl, feature)
+                .expect("finite sum always available");
+            let pexact = poisson.expected_one_more(w, 29.0, &g);
+            assert!((pfast - pexact).abs() < 5e-4, "w = {w}: {pfast} vs {pexact}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use resq_core::preemptible::closed_form;
 use resq_core::workflow::deterministic::DeterministicWorkflow;
 use resq_core::{DynamicStrategy, Preemptible, StaticStrategy};
-use resq_dist::{Continuous, Exponential, Normal, Truncated, Uniform};
+use resq_dist::{Continuous, Exponential, Gamma, Normal, Truncated, Uniform};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -86,8 +86,8 @@ proptest! {
         let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
         let cheap = Truncated::above(Normal::new(mu_c, 0.3).unwrap(), 0.0).unwrap();
         let costly = Truncated::above(Normal::new(mu_c + 2.0, 0.3).unwrap(), 0.0).unwrap();
-        let w_cheap = DynamicStrategy::new(task, cheap, r).unwrap().threshold().unwrap();
-        let w_costly = DynamicStrategy::new(task, costly, r).unwrap().threshold().unwrap();
+        let w_cheap = DynamicStrategy::new(task, cheap, r).unwrap().threshold().unwrap().unwrap();
+        let w_costly = DynamicStrategy::new(task, costly, r).unwrap().threshold().unwrap().unwrap();
         prop_assert!(w_costly < w_cheap, "costly {w_costly} !< cheap {w_cheap}");
     }
 
@@ -124,7 +124,8 @@ proptest! {
         let ckpt = Truncated::above(Normal::new(mu_c, 0.4).unwrap(), 0.0).unwrap();
         let plan = StaticStrategy::new(Normal::new(mu, sigma).unwrap(), ckpt, r)
             .unwrap()
-            .optimize();
+            .optimize()
+            .unwrap();
         let reserve = r - plan.n_opt as f64 * mu;
         let dispersion = sigma * (plan.n_opt as f64).sqrt();
         prop_assert!(
@@ -144,5 +145,189 @@ proptest! {
             plan.expected_work,
             plan.n_opt as f64 * mu
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path equivalence: the cached-lattice + Gauss–Legendre search in
+// `optimize`/`threshold` must agree with a reference search that runs the
+// same grid + integer-rounding algorithm on the exact adaptive-Simpson
+// objective. Sweeps Normal/Gamma/Poisson task laws against the paper's
+// truncated-Normal checkpoint law.
+
+/// The reference §4.2 search: identical grid and rounding rule, but every
+/// objective evaluation goes through the exact adaptive-Simpson path
+/// (`expected_work_relaxed` / `expected_work`).
+fn reference_static_plan<T, C>(
+    s: &StaticStrategy<T, C>,
+    task_mean: f64,
+) -> (u64, f64)
+where
+    T: resq_core::workflow::sum_law::IidSum,
+    C: Continuous,
+{
+    let r = s.reservation();
+    let y_max = (r / task_mean) * 2.0 + 10.0;
+    let spec = resq_numerics::GridSpec {
+        points: 256,
+        xtol: 1e-8,
+    };
+    let e = resq_numerics::grid_max(|y| s.expected_work_relaxed(y), 1e-3, y_max, spec);
+    let n_hi = (y_max.ceil() as u64).max(2);
+    resq_numerics::round_to_better_integer(|n| s.expected_work(n), e.x, 1, n_hi)
+}
+
+/// The reference §4.3 scan: the pre-fast-path all-exact 96-point sweep
+/// plus Brent refinement, expressed through the public comparators.
+fn reference_dynamic_threshold<X, C>(d: &DynamicStrategy<X, C>) -> Option<f64>
+where
+    X: resq_core::workflow::task_law::TaskDuration,
+    C: Continuous,
+{
+    let diff = |w: f64| d.expect_checkpoint_now(w) - d.expect_one_more(w);
+    const POINTS: usize = 96;
+    let step = d.reservation() / POINTS as f64;
+    let mut prev_w = 0.0;
+    let mut prev_d = diff(0.0);
+    for i in 1..=POINTS {
+        let w = step * i as f64;
+        let dv = diff(w);
+        if prev_d < 0.0 && dv >= 0.0 {
+            let root = resq_numerics::brent_root(diff, prev_w, w, 1e-9);
+            return Some(root.unwrap_or(w));
+        }
+        prev_w = w;
+        prev_d = dv;
+    }
+    if prev_d >= 0.0 {
+        Some(0.0)
+    } else {
+        None
+    }
+}
+
+/// Shared assertions: fast plan vs reference `(n_ref, e_ref)`.
+fn assert_static_fast_matches_reference<T, C>(
+    s: &StaticStrategy<T, C>,
+    task_mean: f64,
+) -> Result<(), proptest::TestCaseError>
+where
+    T: resq_core::workflow::sum_law::IidSum,
+    C: Continuous,
+{
+    let plan = s.optimize().unwrap();
+    let (n_ref, e_ref) = reference_static_plan(s, task_mean);
+    // Same integer, unless the relaxation is so flat at the boundary that
+    // both integers are optima to within the fast path's error band.
+    prop_assert!(
+        plan.n_opt == n_ref
+            || (e_ref - s.expected_work(plan.n_opt)).abs() <= 1e-7 * (1.0 + e_ref.abs()),
+        "n_opt {} != reference {} and E gap is real (E_fast = {}, E_ref = {})",
+        plan.n_opt,
+        n_ref,
+        plan.expected_work,
+        e_ref
+    );
+    // E(n_opt) is re-evaluated through the reference quadrature, so it
+    // must match the reference search's value, not merely approximate it.
+    prop_assert!(
+        (plan.expected_work - s.expected_work(plan.n_opt)).abs()
+            <= 1e-9 * (1.0 + plan.expected_work.abs()),
+        "winner E not settled on the reference path"
+    );
+    prop_assert!(
+        (plan.expected_work - e_ref).abs() <= 1e-6 * (1.0 + e_ref.abs()),
+        "E(n_opt) {} drifted from reference {}",
+        plan.expected_work,
+        e_ref
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Normal tasks: fast static search ≡ adaptive-Simpson reference.
+    #[test]
+    fn static_fast_path_matches_reference_normal(
+        mu in 2.0f64..4.0,
+        sigma_frac in 0.08f64..0.25,
+        mu_c in 2.0f64..6.0,
+        r_mult in 5.0f64..8.0,
+    ) {
+        let sigma = sigma_frac * mu;
+        let r = r_mult * mu + mu_c;
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.1 * mu_c).unwrap(), 0.0).unwrap();
+        let s = StaticStrategy::new(Normal::new(mu, sigma).unwrap(), ckpt, r).unwrap();
+        assert_static_fast_matches_reference(&s, mu)?;
+    }
+
+    /// Gamma tasks: fast static search ≡ adaptive-Simpson reference.
+    #[test]
+    fn static_fast_path_matches_reference_gamma(
+        shape in 0.8f64..2.5,
+        scale in 0.3f64..0.8,
+        mu_c in 1.0f64..3.0,
+        r in 8.0f64..16.0,
+    ) {
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.15 * mu_c).unwrap(), 0.0).unwrap();
+        let s = StaticStrategy::new(Gamma::new(shape, scale).unwrap(), ckpt, r).unwrap();
+        assert_static_fast_matches_reference(&s, shape * scale)?;
+    }
+
+    /// Poisson tasks: the pmf-recurrence batch objective ≡ per-term
+    /// log-space reference.
+    #[test]
+    fn static_fast_path_matches_reference_poisson(
+        rate in 2.0f64..4.0,
+        mu_c in 3.0f64..6.0,
+        r in 20.0f64..35.0,
+    ) {
+        use resq_dist::Poisson;
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.1 * mu_c).unwrap(), 0.0).unwrap();
+        let s = StaticStrategy::new(Poisson::new(rate).unwrap(), ckpt, r).unwrap();
+        assert_static_fast_matches_reference(&s, rate)?;
+    }
+
+    /// Dynamic threshold: the guarded fast-skip scan ≡ the all-exact scan,
+    /// across all three task families.
+    #[test]
+    fn dynamic_fast_scan_matches_reference(
+        mu in 2.0f64..4.0,
+        mu_c in 2.0f64..6.0,
+        r_mult in 5.0f64..8.0,
+        family in 0u32..3,
+    ) {
+        use resq_dist::Poisson;
+        let r = r_mult * mu + mu_c;
+        let ckpt = Truncated::above(Normal::new(mu_c, 0.1 * mu_c).unwrap(), 0.0).unwrap();
+        let tol = 1e-9 * (1.0 + r);
+        match family {
+            0 => {
+                let task = Truncated::above(Normal::new(mu, 0.2 * mu).unwrap(), 0.0).unwrap();
+                let d = DynamicStrategy::new(task, ckpt, r).unwrap();
+                let (fast, reference) = (d.threshold().unwrap(), reference_dynamic_threshold(&d));
+                prop_assert_eq!(fast.is_some(), reference.is_some());
+                if let (Some(a), Some(b)) = (fast, reference) {
+                    prop_assert!((a - b).abs() <= tol, "W_int {} vs reference {}", a, b);
+                }
+            }
+            1 => {
+                let d = DynamicStrategy::new(Gamma::new(2.0, mu / 2.0).unwrap(), ckpt, r).unwrap();
+                let (fast, reference) = (d.threshold().unwrap(), reference_dynamic_threshold(&d));
+                prop_assert_eq!(fast.is_some(), reference.is_some());
+                if let (Some(a), Some(b)) = (fast, reference) {
+                    prop_assert!((a - b).abs() <= tol, "W_int {} vs reference {}", a, b);
+                }
+            }
+            _ => {
+                let d = DynamicStrategy::new(Poisson::new(mu).unwrap(), ckpt, r).unwrap();
+                let (fast, reference) = (d.threshold().unwrap(), reference_dynamic_threshold(&d));
+                prop_assert_eq!(fast.is_some(), reference.is_some());
+                if let (Some(a), Some(b)) = (fast, reference) {
+                    prop_assert!((a - b).abs() <= tol, "W_int {} vs reference {}", a, b);
+                }
+            }
+        }
     }
 }

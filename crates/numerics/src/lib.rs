@@ -32,8 +32,12 @@ pub use error::NumericsError;
 pub use optimize::{
     brent_max, brent_min, grid_max, integer_argmax, round_to_better_integer, Extremum, GridSpec,
 };
-pub use memo::LatticeCache;
-pub use quad::{adaptive_simpson, adaptive_simpson_checked, integrate_to_inf, GaussLegendre, QuadResult};
+pub use memo::{KernelCache, LatticeCache};
+pub use quad::{
+    adaptive_simpson, adaptive_simpson_checked, gauss_legendre_checked,
+    gauss_legendre_checked_from, integrate_to_inf, GaussLegendre, QuadResult, GL_CHECK_SEGMENTS,
+    GL_MAX_SEGMENTS,
+};
 pub use roots::{bisect, brent_root, newton_safeguarded};
 pub use sum::NeumaierSum;
 

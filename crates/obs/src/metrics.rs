@@ -330,6 +330,19 @@ pub static CKPT_FAILURES_TOTAL: Counter = Counter::new(
     "checkpoint write attempts that failed under fault injection",
 );
 
+/// Solver kernel-cache lookups served from an already-built lattice
+/// (`resq_numerics::memo::KernelCache`).
+pub static SOLVER_CACHE_HITS_TOTAL: Counter = Counter::new(
+    "solver_cache_hits_total",
+    "solver kernel-cache lookups served from a cached distribution lattice",
+);
+
+/// Solver kernel-cache lookups that had to build (and insert) a lattice.
+pub static SOLVER_CACHE_MISSES_TOTAL: Counter = Counter::new(
+    "solver_cache_misses_total",
+    "solver kernel-cache lookups that built a new distribution lattice",
+);
+
 /// Distribution of trials processed per worker thread per run —
 /// lopsided buckets mean poor load balance.
 pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
@@ -348,6 +361,8 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &MC_RUNS,
     &CKPT_ATTEMPTS_TOTAL,
     &CKPT_FAILURES_TOTAL,
+    &SOLVER_CACHE_HITS_TOTAL,
+    &SOLVER_CACHE_MISSES_TOTAL,
 ];
 
 /// Every registered histogram, in display order.

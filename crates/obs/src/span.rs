@@ -69,12 +69,18 @@ pub mod span_name {
     pub const QUAD: &str = "quad";
     /// One figure/experiment regeneration in `resq-bench`.
     pub const BENCH_FIGURE: &str = "bench/figure";
+    /// Leaf: one evaluation of the §4.2 `E(n)` search objective (fast
+    /// Gauss–Legendre path or its adaptive fallback) inside
+    /// `StaticStrategy::optimize`. Nests under [`SOLVE_STATIC`] as
+    /// `solve/static/objective` in practice.
+    pub const SOLVE_OBJECTIVE: &str = "solve/objective";
 
     /// Every canonical span name, for docs-sync checks.
     pub const ALL: &[&str] = &[
         SOLVE_PREEMPTIBLE,
         SOLVE_STATIC,
         SOLVE_DYNAMIC,
+        SOLVE_OBJECTIVE,
         MC_RUN,
         MC_CHUNK,
         MC_BATCH,

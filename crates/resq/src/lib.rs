@@ -52,8 +52,8 @@ pub use resq_core::{
     ConvolutionStatic, CoreError, DeterministicPlan, DeterministicWorkflow, DpSolution,
     DynamicStrategy, DynamicWorkflowPolicy, FixedLeadPolicy, HeterogeneousDynamic,
     PessimisticWorkflowPolicy, Preemptible, PreemptiblePolicy, ReservationController,
-    RetryDynamicStrategy, RetryPolicy, RetryPreemptible, RetryStaticStrategy, Stage, StaticPlan,
-    StaticStrategy, StaticWorkflowPolicy, TaskDuration, WorkflowPolicy,
+    RetryDynamicStrategy, RetryPolicy, RetryPreemptible, RetryStaticStrategy, SolveCache, Stage,
+    StaticPlan, StaticStrategy, StaticWorkflowPolicy, TaskDuration, WorkflowPolicy,
 };
 
 /// Special functions (re-export of `resq-specfun`).

@@ -552,10 +552,11 @@ mod tests {
             29.0,
         )
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
         let dynamic = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), 29.0).unwrap();
         let threshold = ThresholdWorkflowPolicy {
-            threshold: dynamic.threshold().unwrap(),
+            threshold: dynamic.threshold().unwrap().unwrap(),
         };
         let static_policy = StaticWorkflowPolicy {
             n_opt: static_plan.n_opt,

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dynamic threshold tuned for the EFFECTIVE reservation length (§4.4).
     let w_int = DynamicStrategy::new(task, ckpt, r - recovery_mean)?
-        .threshold()
+        .threshold()?
         .expect("feasible reservation");
     println!("UQ campaign: {total_work} s of work, reservations of {r} s, recovery ~{recovery_mean} s");
     println!("dynamic checkpoint threshold (tuned for R - r = {} s): W_int = {w_int:.2} s\n", r - recovery_mean);

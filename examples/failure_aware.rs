@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = Truncated::above(Normal::new(3.0, 0.5)?, 0.0)?;
     let ckpt = Truncated::above(Normal::new(5.0, 0.4)?, 0.0)?;
     let w_int = DynamicStrategy::new(task, ckpt, r)?
-        .threshold()
+        .threshold()?
         .expect("feasible");
 
     println!("R = {r} s, task ~ N[0,inf)(3, 0.5^2), checkpoint ~ N[0,inf)(5, 0.4^2)");

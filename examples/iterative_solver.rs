@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Static strategy (§4.2): decide n_opt before execution -------
     let static_strategy = StaticStrategy::new(Normal::new(3.0, 0.5)?, ckpt, r)?;
-    let static_plan = static_strategy.optimize();
+    let static_plan = static_strategy.optimize()?;
     println!(
         "  static  (§4.2): checkpoint after n_opt = {} iterations \
          (relaxation max at y = {:.2}); E[saved] = {:.2} s",
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Dynamic strategy (§4.3): threshold on observed work ---------
     let dynamic = DynamicStrategy::new(task, ckpt, r)?;
-    let w_int = dynamic.threshold().expect("reservation long enough");
+    let w_int = dynamic.threshold()?.expect("reservation long enough");
     println!(
         "  dynamic (§4.3): checkpoint once accumulated work >= W_int = {:.2} s\n",
         w_int

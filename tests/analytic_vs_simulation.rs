@@ -196,10 +196,12 @@ fn policy_ordering_oracle_dynamic_static_pessimistic() {
     };
     let static_plan = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), c, r)
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
     let w_int = DynamicStrategy::new(task, c, r)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
 
     let cfg = mc(400_000, 400);

@@ -464,19 +464,23 @@ fn analytic_planning_is_deterministic() {
     let w1 = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), 29.0)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let w2 = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), 29.0)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     assert_eq!(w1.to_bits(), w2.to_bits());
 
     let p1 = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), tn(5.0, 0.4), 30.0)
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
     let p2 = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), tn(5.0, 0.4), 30.0)
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
     assert_eq!(p1.expected_work.to_bits(), p2.expected_work.to_bits());
     assert_eq!(p1.n_opt, p2.n_opt);
 }

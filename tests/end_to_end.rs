@@ -111,6 +111,7 @@ fn campaign_with_dynamic_policy_completes_realistic_job() {
     let w_int = DynamicStrategy::new(task, ckpt, 29.0 - 2.0)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let sim = CampaignSimulator {
         task,
@@ -167,7 +168,8 @@ fn preemptible_and_workflow_apis_compose_through_facade() {
 
     let static_plan = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt, 29.0)
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
     let sim = WorkflowSim {
         reservation: 29.0,
         task,

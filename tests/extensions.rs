@@ -104,11 +104,12 @@ fn dp_solution_bounds_one_step_rule() {
         })
         .collect();
     let chain = HeterogeneousDynamic::new(stages, r).unwrap();
-    let dp = chain.solve_dp(300);
+    let dp = chain.solve_dp(300).unwrap();
 
     let w_int = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), r)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let sim = WorkflowSim {
         reservation: r,
@@ -157,10 +158,12 @@ fn failure_free_limit_recovers_paper_behaviour() {
     let w_int = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), r)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let analytic = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), tn(5.0, 0.4), r)
         .unwrap()
-        .optimize();
+        .optimize()
+        .unwrap();
     let s = run_trials(
         MonteCarloConfig {
             trials: 200_000,
@@ -201,6 +204,7 @@ fn young_daly_crossover_under_failures() {
     let w_int = DynamicStrategy::new(tn(3.0, 0.5), tn(5.0, 0.4), r)
         .unwrap()
         .threshold()
+        .unwrap()
         .unwrap();
     let cfg = MonteCarloConfig {
         trials: 150_000,

@@ -118,7 +118,7 @@ proptest! {
         let r = r_mult * mu + mu_c;
         let ckpt = Truncated::above(Normal::new(mu_c, 0.1 * mu_c).unwrap(), 0.0).unwrap();
         let s = StaticStrategy::new(Normal::new(mu, sigma).unwrap(), ckpt, r).unwrap();
-        let plan = s.optimize();
+        let plan = s.optimize().unwrap();
         prop_assert!(plan.expected_work >= 0.0);
         for n in 1..=(2.0 * r / mu) as u64 {
             let e = s.expected_work(n);
@@ -149,7 +149,7 @@ proptest! {
             prop_assert!(now >= 0.0 && now <= w + 1e-9, "E[W_C]({w}) = {now}");
             prop_assert!(plus >= 0.0 && plus <= r + 1e-9, "E[W_+1]({w}) = {plus}");
         }
-        if let Some(w_int) = d.threshold() {
+        if let Some(w_int) = d.threshold().unwrap() {
             if w_int > 0.5 && w_int < r - 0.5 {
                 prop_assert!(!d.should_checkpoint((w_int - 0.3).max(0.0)));
                 prop_assert!(d.should_checkpoint(w_int + 0.3));

@@ -113,7 +113,7 @@ fn figure_5_static_normal() {
     // μ=3, σ=0.5, μC=5, σC=0.4, R=30: y_opt ≈ 7.4, f(7) ≈ 20.9,
     // f(8) ≈ 17.6, n_opt = 7.
     let s = StaticStrategy::new(Normal::new(3.0, 0.5).unwrap(), ckpt(5.0, 0.4), 30.0).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     assert!((plan.y_opt - 7.4).abs() < 0.15, "y_opt = {}", plan.y_opt);
     assert_eq!(plan.n_opt, 7);
     assert!((s.expected_work(7) - 20.9).abs() < 0.15);
@@ -127,7 +127,7 @@ fn figure_6_static_gamma() {
     // k=1, θ=0.5, μC=2, σC=0.4, R=10: y_opt ≈ 11.8, g(11) ≈ 4.77,
     // g(12) ≈ 4.82, n_opt = 12.
     let s = StaticStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     assert!((plan.y_opt - 11.8).abs() < 0.3, "y_opt = {}", plan.y_opt);
     assert_eq!(plan.n_opt, 12);
     assert!((s.expected_work(11) - 4.77).abs() < 0.05);
@@ -141,7 +141,7 @@ fn figure_7_static_poisson() {
     // λ=3, μC=5, σC=0.4, R=29: y_opt ≈ 5.98, h(5) ≈ 14.6, h(6) ≈ 15.8,
     // n_opt = 6.
     let s = StaticStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
-    let plan = s.optimize();
+    let plan = s.optimize().unwrap();
     assert!((plan.y_opt - 5.98).abs() < 0.15, "y_opt = {}", plan.y_opt);
     assert_eq!(plan.n_opt, 6);
     assert!((s.expected_work(5) - 14.6).abs() < 0.15);
@@ -155,7 +155,7 @@ fn figure_8_dynamic_truncated_normal() {
     // μ=3, σ=0.5, μC=5, σC=0.4, R=29: W_int ≈ 20.3.
     let task = Truncated::above(Normal::new(3.0, 0.5).unwrap(), 0.0).unwrap();
     let d = DynamicStrategy::new(task, ckpt(5.0, 0.4), 29.0).unwrap();
-    let w = d.threshold().unwrap();
+    let w = d.threshold().unwrap().unwrap();
     assert!((w - 20.3).abs() < 0.3, "W_int = {w}");
 }
 
@@ -165,7 +165,7 @@ fn figure_8_dynamic_truncated_normal() {
 fn figure_9_dynamic_gamma() {
     // k=1, θ=0.5, μC=2, σC=0.4, R=10: W_int ≈ 6.4.
     let d = DynamicStrategy::new(Gamma::new(1.0, 0.5).unwrap(), ckpt(2.0, 0.4), 10.0).unwrap();
-    let w = d.threshold().unwrap();
+    let w = d.threshold().unwrap().unwrap();
     assert!((w - 6.4).abs() < 0.2, "W_int = {w}");
 }
 
@@ -175,7 +175,7 @@ fn figure_9_dynamic_gamma() {
 fn figure_10_dynamic_poisson() {
     // λ=3, μC=5, σC=0.4, R=29: W_int ≈ 18.9.
     let d = DynamicStrategy::new(Poisson::new(3.0).unwrap(), ckpt(5.0, 0.4), 29.0).unwrap();
-    let w = d.threshold().unwrap();
+    let w = d.threshold().unwrap().unwrap();
     assert!((w - 18.9).abs() < 0.4, "W_int = {w}");
 }
 
