@@ -1,0 +1,79 @@
+//! `lattice_build` — precomputes the policy-lattice artifacts for every
+//! gridded law family (Uniform, Exponential, Normal, LogNormal) into the
+//! results directory (`$RESQ_RESULTS_DIR`, default `results/`), each with
+//! its provenance manifest sidecar. The offline half of the O(µs)
+//! decision path documented in `docs/LATTICES.md`; `resq lattice
+//! build|query|verify` is the per-artifact CLI counterpart.
+//!
+//! ```text
+//! lattice_build                   default grids for all four families
+//! lattice_build --smoke           3-node axes (CI-sized artifacts)
+//! lattice_build --family normal   one family only
+//! ```
+
+use resq::core::lattice::build;
+use resq::{LatticeSpec, LawFamily};
+use resq_bench::report::results_dir;
+use std::time::Instant;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut only: Option<LawFamily> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--family" => {
+                let name = it.next().map(String::as_str).unwrap_or("");
+                only = match LawFamily::from_name(name) {
+                    Some(f) => Some(f),
+                    None => {
+                        eprintln!("unknown family `{name}` (supported: uniform|exponential|normal|lognormal)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: lattice_build [--smoke] [--family <name>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create `{}`: {e}", dir.display());
+        std::process::exit(1);
+    });
+    for family in LawFamily::ALL {
+        if let Some(f) = only {
+            if *family != f {
+                continue;
+            }
+        }
+        let mut spec = LatticeSpec::defaults(*family);
+        if smoke {
+            spec = spec.with_points(3);
+        }
+        let t0 = Instant::now();
+        let lattice = build(&spec).unwrap_or_else(|e| {
+            eprintln!("building the {} lattice failed: {e}", family.name());
+            std::process::exit(1);
+        });
+        let path = dir.join(family.artifact_file_name());
+        let sidecar = lattice.save(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write `{}`: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "{:<12} {:>6} nodes  {:>7.2} s  fingerprint {}  -> {}",
+            family.name(),
+            lattice.node_count(),
+            t0.elapsed().as_secs_f64(),
+            lattice.fingerprint(),
+            path.display()
+        );
+        println!("{:<12} manifest -> {}", "", sidecar.display());
+    }
+}

@@ -9,6 +9,10 @@
 //! * the preemptible, static (Poisson and Normal) and dynamic optimizers
 //!   (`solve/*` spans end-to-end, through the kernel-cache +
 //!   Gauss–Legendre fast path);
+//! * policy-lattice lookups (`solve/lattice_lookup`): in-grid queries
+//!   served by interpolation from a prebuilt lattice — the O(µs) path
+//!   whose whole point is being orders of magnitude below `solve/dynamic`
+//!   (the lattice build runs outside the timed region);
 //! * `run_trials_observed` throughput at 1, 2 and N worker threads
 //!   (`mc/*`), and the same workload through the chunk-buffered batched
 //!   sampler path `run_trials_batched` (`mc_batched/*`). In full mode
@@ -27,7 +31,8 @@
 //! Schema v3 adds a per-entry `threads` field and records the host's
 //! `available_parallelism` in provenance, so flat `mc/threads_*` curves
 //! on single-core runners are self-explaining, and adds the solver
-//! fast-path entries.)
+//! fast-path entries. Schema v4 adds the `solve/lattice_lookup` entry
+//! for the precomputed policy-lattice path.)
 //!
 //! ```text
 //! perf_baseline                 full mode: write BENCH_perf.json at the repo root
@@ -50,7 +55,9 @@ use resq::core::policy::ThresholdWorkflowPolicy;
 use resq::dist::{Normal, Truncated, Uniform};
 use resq::sim::stats::quantile;
 use resq::sim::{run_trials_batched, run_trials_observed, BatchScratch, MonteCarloConfig, WorkflowSim};
-use resq::{DynamicStrategy, Preemptible, StaticStrategy};
+use resq::{
+    AnswerSource, DynamicStrategy, LatticeSpec, LawFamily, Preemptible, SolveCache, StaticStrategy,
+};
 use resq_dist::Poisson;
 use resq_numerics::{adaptive_simpson, brent_root};
 use resq_obs::span::{self, SpanRegistry};
@@ -60,9 +67,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-/// `v3`: per-entry `threads`, provenance `available_parallelism`, and
-/// the `solve/static_normal` + `solve/dynamic` fast-path entries.
-const SCHEMA: &str = "resq-perf-baseline/v3";
+/// `v4`: adds the `solve/lattice_lookup` policy-lattice entry to v3's
+/// per-entry `threads` / provenance `available_parallelism` layout.
+const SCHEMA: &str = "resq-perf-baseline/v4";
 
 /// Relative slowdown vs the committed baseline at which a tracked
 /// `solve/*` entry fails the `--baseline` regression gate. 25% is wide
@@ -222,6 +229,40 @@ fn collect(smoke: bool) -> Vec<Entry> {
             .unwrap();
         black_box(w);
     }));
+
+    // The O(µs) decision path: in-grid queries against a prebuilt
+    // exponential-family lattice. Build and query selection happen
+    // outside the timed region; only served (interpolated) queries are
+    // cycled, so the entry times the lookup itself, not the exact-solver
+    // fallback (which `solve/dynamic` above already tracks).
+    entries.push({
+        let mut spec = LatticeSpec::defaults(LawFamily::Exponential);
+        if smoke {
+            spec = spec.with_points(5);
+        }
+        let lattice = resq::core::lattice::build(&spec).expect("lattice build");
+        let mut cache = SolveCache::new();
+        let axes = lattice.axes();
+        let queries: Vec<_> = (0..16)
+            .map(|k| {
+                let f = (k as f64 + 0.5) / 16.0;
+                let coords: Vec<f64> =
+                    axes.iter().map(|a| a.lo + f * (a.hi - a.lo)).collect();
+                lattice.query_for_coords(&coords, 29.0)
+            })
+            .filter(|q| {
+                lattice.query(q, &mut cache).expect("probe query").source
+                    == AnswerSource::Lattice
+            })
+            .collect();
+        assert!(!queries.is_empty(), "no served lattice queries to time");
+        let mut i = 0usize;
+        time_entry("solve/lattice_lookup", scaled(20_000, smoke), 1, move || {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(lattice.query(q, &mut cache).expect("timed query").n_opt);
+        })
+    });
 
     entries.push(mc_entry("mc/threads_1", 1, 40_000, smoke, false));
     entries.push(mc_entry("mc/threads_2", 2, 40_000, smoke, false));

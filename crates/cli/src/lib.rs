@@ -13,6 +13,15 @@ pub mod spec;
 /// covers each one.
 pub const OBS_ACTIONS: &[&str] = &["summarize", "diff"];
 
+/// Actions of the `resq lattice` subcommand family, in the order they
+/// are documented. `tests/docs_sync.rs` checks `docs/LATTICES.md`
+/// covers each one.
+pub const LATTICE_ACTIONS: &[&str] = &["build", "query", "verify"];
+
+/// Task-law families `resq lattice build --family` accepts (the gridded
+/// families of `resq_core::lattice::LawFamily`).
+pub const LATTICE_FAMILIES: &[&str] = &["uniform", "exponential", "normal", "lognormal"];
+
 /// Accepted values of `--metrics-format`, first entry is the default
 /// (also what bare `--metrics` selects).
 pub const METRICS_FORMATS: &[&str] = &["summary", "prometheus", "json"];
@@ -60,6 +69,22 @@ COMMANDS:
       obs diff <a.manifest.json> <b.manifest.json>
                                               report config/provenance drift
                                               between two manifests
+  lattice           precomputed policy lattices: O(µs) checkpoint decisions by
+                    interpolation, exact-solver fallback (docs/LATTICES.md).
+                    <artifact.json> defaults to
+                    $RESQ_RESULTS_DIR/lattice_<family>.json (or results/...)
+      lattice build [<artifact.json>]         precompute + serialize offline
+          --family <uniform|exponential|normal|lognormal>
+          [--points <odd n>]                  nodes per axis (default per family)
+          [--ckpt-sigma-ratio <rho>=0.08]     sigma/mean of gridded ckpt laws
+          [--tolerance <tol>=0.02]            a-posteriori error tolerance
+      lattice query [<artifact.json>]         answer one policy question
+          --task <law>  --ckpt-mean <c>  --reservation <R>
+          [--ckpt-sigma <s>=rho*c]            must match rho to hit the grid
+      lattice verify [<artifact.json>]        lookup-vs-exact sweep; nonzero
+          [--samples <n>=100] [--seed <s>=42] exit if a served lookup exceeds
+          [--tolerance <tol>=artifact's]      the tolerance
+          [--family <name>]                   for the default artifact path
 
 OBSERVABILITY (every command):
   --log-json <path>   write structured JSONL run events to <path> and a

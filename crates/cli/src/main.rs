@@ -19,10 +19,14 @@ use resq::sim::{
     run_trials, run_trials_batched, run_trials_observed, BatchScratch, FaultyWorkflowSim,
     MonteCarloConfig, ReliabilityInjector, WorkflowSim,
 };
-use resq::{CheckpointReliability, ConvolutionStatic, DynamicStrategy, Preemptible, StaticStrategy};
+use resq::dist::{Sample, Uniform};
+use resq::{
+    AnswerSource, CheckpointReliability, ConvolutionStatic, DynamicStrategy, LatticeSpec,
+    LawFamily, PolicyLattice, PolicyQuery, Preemptible, SolveCache, StaticStrategy, TaskParams,
+};
 use resq_cli::args::{ArgError, Args};
 use resq_cli::spec::{parse_law, parse_retry, DynLaw, LawSpec};
-use resq_cli::{METRICS_FORMATS, OBS_ACTIONS, USAGE};
+use resq_cli::{LATTICE_ACTIONS, LATTICE_FAMILIES, METRICS_FORMATS, OBS_ACTIONS, USAGE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -53,7 +57,9 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         None if args.bool_flag("metrics") => Some("summary".to_string()),
         None => None,
     };
-    if !args.positionals.is_empty() && args.command.as_deref() != Some("obs") {
+    if !args.positionals.is_empty()
+        && !matches!(args.command.as_deref(), Some("obs") | Some("lattice"))
+    {
         return Err(ArgError(format!(
             "unexpected positional argument `{}`",
             args.positionals[0]
@@ -66,6 +72,7 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         Some("simulate") => simulate(&args),
         Some("learn") => learn(&args),
         Some("obs") => obs_command(&args),
+        Some("lattice") => lattice_command(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -122,6 +129,307 @@ fn obs_command(args: &Args) -> Result<(), ArgError> {
         }
         _ => Err(usage()),
     }
+}
+
+/// The `resq lattice` subcommand family: precomputed policy lattices
+/// (see [`LATTICE_ACTIONS`] and `docs/LATTICES.md`).
+fn lattice_command(args: &Args) -> Result<(), ArgError> {
+    match args.positionals.first().map(String::as_str) {
+        Some("build") => lattice_build(args),
+        Some("query") => lattice_query(args),
+        Some("verify") => lattice_verify(args),
+        _ => Err(ArgError(format!(
+            "usage: resq lattice <{}> [<artifact.json>] [--flags]",
+            LATTICE_ACTIONS.join("|")
+        ))),
+    }
+}
+
+/// `--family` flag, validated against the gridded families.
+fn lattice_family(args: &Args) -> Result<Option<LawFamily>, ArgError> {
+    match args.get("family") {
+        None => Ok(None),
+        Some(name) => LawFamily::from_name(name).map(Some).ok_or_else(|| {
+            ArgError(format!(
+                "unknown law family `{name}` (supported: {})",
+                LATTICE_FAMILIES.join("|")
+            ))
+        }),
+    }
+}
+
+/// Resolves the artifact path: an explicit positional operand wins;
+/// otherwise `$RESQ_RESULTS_DIR/lattice_<family>.json` (the same results
+/// directory the bench tools write to; default `results/`).
+fn lattice_artifact_path(
+    args: &Args,
+    family: Option<LawFamily>,
+) -> Result<std::path::PathBuf, ArgError> {
+    if let Some(p) = args.positionals.get(1) {
+        return Ok(std::path::PathBuf::from(p));
+    }
+    let family = family.ok_or_else(|| {
+        ArgError("give an artifact path or --family to derive the default one".to_string())
+    })?;
+    let dir = std::env::var("RESQ_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    Ok(std::path::PathBuf::from(dir).join(family.artifact_file_name()))
+}
+
+/// Parses `--task` into lattice shape parameters. Same law syntax as the
+/// planner commands for the four gridded families; truncation suffixes
+/// are rejected (the grid's task laws are the plain families).
+fn lattice_task_params(raw: &str) -> Result<TaskParams, ArgError> {
+    let err = || {
+        ArgError(format!(
+            "`--task {raw}`: lattice queries take uniform:a,b | exponential:lambda | \
+             normal:mu,sigma | lognormal:mu,sigma (no truncation suffix)"
+        ))
+    };
+    if raw.contains('@') {
+        return Err(err());
+    }
+    let (name, params) = raw.split_once(':').ok_or_else(err)?;
+    let nums: Vec<f64> = params
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| err())?;
+    match (name, nums.as_slice()) {
+        ("uniform", [a, b]) => Ok(TaskParams::Uniform { lo: *a, hi: *b }),
+        ("exponential" | "exp", [lambda]) => Ok(TaskParams::Exponential { mean: 1.0 / lambda }),
+        ("normal", [mu, sigma]) => Ok(TaskParams::Normal {
+            mean: *mu,
+            sigma: *sigma,
+        }),
+        // Same log-space (mu, sigma) convention as the LAW SYNTAX;
+        // converted to the (mean, sd) axes the lattice normalizes.
+        ("lognormal", [mu, sigma]) => {
+            let mean = (mu + sigma * sigma / 2.0).exp();
+            let sd = mean * ((sigma * sigma).exp() - 1.0).sqrt();
+            Ok(TaskParams::LogNormal { mean, sd })
+        }
+        _ => Err(err()),
+    }
+}
+
+fn lattice_build(args: &Args) -> Result<(), ArgError> {
+    let family = lattice_family(args)?
+        .ok_or_else(|| ArgError("missing required flag `--family`".to_string()))?;
+    let mut spec = LatticeSpec::defaults(family);
+    if let Some(points) = args.get("points") {
+        let points: usize = points
+            .parse()
+            .map_err(|_| ArgError(format!("flag `--points` expects an integer, got `{points}`")))?;
+        spec = spec.with_points(points);
+    }
+    spec.ckpt_sigma_ratio = args.f64_or("ckpt-sigma-ratio", spec.ckpt_sigma_ratio)?;
+    spec.tolerance = args.f64_or("tolerance", spec.tolerance)?;
+    let path = lattice_artifact_path(args, Some(family))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ArgError(format!("cannot create `{}`: {e}", dir.display())))?;
+        }
+    }
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "lattice build")
+            .str("family", family.name())
+            .f64("ckpt_sigma_ratio", spec.ckpt_sigma_ratio)
+            .f64("tolerance", spec.tolerance),
+    );
+    let start = Instant::now();
+    let lattice = resq::core::lattice::build(&spec).map_err(|e| ArgError(e.to_string()))?;
+    let sidecar = lattice
+        .save(&path)
+        .map_err(|e| ArgError(format!("cannot write `{}`: {e}", path.display())))?;
+    println!("family        : {}", family.name());
+    for a in lattice.axes() {
+        println!("  axis {:<10} : [{}, {}] x{} nodes (per unit R)", a.name, a.lo, a.hi, a.points);
+    }
+    println!("grid nodes    : {} (exact solves)", lattice.node_count());
+    let (ok, cells) = lattice.cell_coverage();
+    println!("serveable     : {ok}/{cells} cells passed calibration (rest fall back exact)");
+    println!("tolerance     : {}", lattice.tolerance());
+    println!("fingerprint   : {}", lattice.fingerprint());
+    println!("artifact      : {}", path.display());
+    println!("manifest      : {}", sidecar.display());
+    println!("build time    : {:.2} s", start.elapsed().as_secs_f64());
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("nodes", lattice.node_count() as u64)
+            .str("fingerprint", lattice.fingerprint()),
+    );
+    obs.finish(
+        RunManifest::new("resq lattice build")
+            .config("family", family.name())
+            .config("artifact", path.display())
+            .config("fingerprint", lattice.fingerprint()),
+    )
+}
+
+fn lattice_query(args: &Args) -> Result<(), ArgError> {
+    let task = lattice_task_params(args.require("task")?)?;
+    let r = args.require_f64("reservation")?;
+    let ckpt_mean = args.require_f64("ckpt-mean")?;
+    let path = lattice_artifact_path(args, Some(task.family()))?;
+    let lattice = PolicyLattice::load(&path).map_err(|e| ArgError(e.to_string()))?;
+    let ckpt_sigma = args.f64_or("ckpt-sigma", lattice.ckpt_sigma_ratio() * ckpt_mean)?;
+    let q = PolicyQuery {
+        task,
+        ckpt_mean,
+        ckpt_sigma,
+        r,
+    };
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "lattice query")
+            .str("task", args.require("task")?)
+            .f64("ckpt_mean", ckpt_mean)
+            .f64("ckpt_sigma", ckpt_sigma)
+            .f64("reservation", r),
+    );
+    let mut cache = SolveCache::new();
+    let t0 = Instant::now();
+    let a = lattice.query(&q, &mut cache).map_err(|e| ArgError(e.to_string()))?;
+    let micros = t0.elapsed().as_secs_f64() * 1e6;
+    println!(
+        "artifact          : {} (fingerprint {})",
+        path.display(),
+        lattice.fingerprint()
+    );
+    println!(
+        "source            : {}",
+        match a.source {
+            AnswerSource::Lattice => "lattice (interpolated, error check passed)",
+            AnswerSource::Exact => "exact solver (out-of-grid, or error check fell back)",
+        }
+    );
+    println!("lead time X_opt   : {:.4} s before the end (preemptible, paper §3)", a.x_opt);
+    println!("n_opt             : checkpoint after {} tasks (static, paper §4.2)", a.n_opt);
+    println!("E[saved work]     : {:.4}", a.expected_work);
+    match a.w_int {
+        Some(w) => println!("threshold W_int   : {w:.4} (dynamic, paper §4.3)"),
+        None => println!("threshold W_int   : none (reservation too short for a checkpoint to plausibly fit)"),
+    }
+    println!("answer time       : {micros:.1} µs");
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .str(
+                "source",
+                match a.source {
+                    AnswerSource::Lattice => "lattice",
+                    AnswerSource::Exact => "exact",
+                },
+            )
+            .f64("x_opt", a.x_opt)
+            .u64("n_opt", a.n_opt)
+            .f64("expected_work", a.expected_work)
+            .f64("w_int", a.w_int.unwrap_or(-1.0)),
+    );
+    obs.finish(
+        RunManifest::new("resq lattice query")
+            .config("artifact", path.display())
+            .config("fingerprint", lattice.fingerprint())
+            .config("task", args.require("task")?)
+            .config("ckpt_mean", ckpt_mean)
+            .config("reservation", r),
+    )
+}
+
+fn lattice_verify(args: &Args) -> Result<(), ArgError> {
+    let path = lattice_artifact_path(args, lattice_family(args)?)?;
+    let lattice = PolicyLattice::load(&path).map_err(|e| ArgError(e.to_string()))?;
+    let samples = args.u64_or("samples", 100)?;
+    let seed = args.u64_or("seed", 42)?;
+    let tolerance = args.f64_or("tolerance", lattice.tolerance())?;
+    let obs = Obs::from_args(args)?;
+    obs.emit(
+        Event::new(event_type::RUN_STARTED)
+            .str("command", "lattice verify")
+            .str("fingerprint", lattice.fingerprint())
+            .u64("samples", samples)
+            .u64("seed", seed)
+            .f64("tolerance", tolerance),
+    );
+    let mut rng = Xoshiro256pp::for_stream(seed, 0);
+    let unit = Uniform::new(0.0, 1.0).expect("unit uniform");
+    let axes = lattice.axes();
+    let mut cache = SolveCache::new();
+    let (mut served, mut fell_back, mut plateau_off_by_one, mut failures) = (0u64, 0u64, 0u64, 0u64);
+    let mut max_rel: f64 = 0.0;
+    for i in 0..samples {
+        // Random in-grid point, random reservation scale: the exact
+        // solver sees the *denormalized* query, so this also exercises
+        // the normalization round trip.
+        let coords: Vec<f64> = axes
+            .iter()
+            .map(|a| a.lo + unit.sample(&mut rng) * (a.hi - a.lo))
+            .collect();
+        let r = 1.0 + 99.0 * unit.sample(&mut rng);
+        let q = lattice.query_for_coords(&coords, r);
+        let got = lattice.query(&q, &mut cache).map_err(|e| ArgError(e.to_string()))?;
+        if got.source == AnswerSource::Exact {
+            // The discipline chose the exact path: correct by definition.
+            fell_back += 1;
+            continue;
+        }
+        served += 1;
+        let want = resq::core::lattice::solve_exact(&q, &mut cache)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let floor = resq::core::lattice::REL_FLOOR * r;
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(floor);
+        let mut worst = rel(got.x_opt, want.x_opt).max(rel(got.expected_work, want.expected_work));
+        let mut bad = false;
+        match (got.w_int, want.w_int) {
+            (Some(a), Some(b)) => worst = worst.max(rel(a, b)),
+            (None, None) => {}
+            _ => bad = true,
+        }
+        // E(n) is flat near its integer optimum, so a served lookup may
+        // sit one plateau step off the exact argmax; more is a failure.
+        match (got.n_opt as i64 - want.n_opt as i64).abs() {
+            0 => {}
+            1 => plateau_off_by_one += 1,
+            _ => bad = true,
+        }
+        max_rel = max_rel.max(worst);
+        if worst > tolerance || bad {
+            failures += 1;
+            eprintln!(
+                "sample {i}: rel err {worst:.4} > {tolerance} (or structural mismatch) at {q:?}"
+            );
+        }
+    }
+    println!("artifact          : {} (fingerprint {})", path.display(), lattice.fingerprint());
+    println!("samples           : {samples} random in-grid points (seed {seed})");
+    println!("served by lattice : {served}");
+    println!("exact fallbacks   : {fell_back} (discipline engaged, answers exact)");
+    println!("max rel error     : {max_rel:.5} (tolerance {tolerance})");
+    println!("n_opt off-by-one  : {plateau_off_by_one} (plateau boundary, E(n) agrees within tolerance)");
+    obs.emit(
+        Event::new(event_type::RUN_FINISHED)
+            .u64("served", served)
+            .u64("fallbacks", fell_back)
+            .u64("failures", failures)
+            .f64("max_rel_error", max_rel),
+    );
+    obs.finish(
+        RunManifest::new("resq lattice verify")
+            .config("artifact", path.display())
+            .config("fingerprint", lattice.fingerprint())
+            .config("samples", samples)
+            .config("tolerance", tolerance)
+            .seed(seed),
+    )?;
+    if failures > 0 {
+        return Err(ArgError(format!(
+            "lattice verify FAILED: {failures} of {samples} lookups exceeded the bound"
+        )));
+    }
+    Ok(())
 }
 
 /// Per-command observability bundle: the event sink (JSONL when
@@ -1089,6 +1397,98 @@ mod tests {
         assert!(run_tokens(&["obs", "summarize", log.to_str().unwrap()]).is_ok());
         std::fs::remove_file(&log).ok();
         std::fs::remove_file(dir.join("run.manifest.json")).ok();
+    }
+
+    #[test]
+    fn lattice_build_query_verify_round_trip() {
+        let dir = std::env::temp_dir().join("resq-cli-lattice-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lattice_exponential.json");
+        let p = path.to_str().unwrap();
+        assert!(run_tokens(&[
+            "lattice", "build", p, "--family", "exponential", "--points", "3"
+        ])
+        .is_ok());
+        // In-grid query (task mean 0.2, ckpt mean 0.2, R = 1): answered
+        // from the lattice or by a legitimate fallback, never an error.
+        assert!(run_tokens(&[
+            "lattice",
+            "query",
+            p,
+            "--task",
+            "exponential:5",
+            "--ckpt-mean",
+            "0.2",
+            "--reservation",
+            "1"
+        ])
+        .is_ok());
+        // Out-of-grid query falls back to the exact solver, still ok.
+        assert!(run_tokens(&[
+            "lattice",
+            "query",
+            p,
+            "--task",
+            "exponential:0.5",
+            "--ckpt-mean",
+            "5",
+            "--reservation",
+            "10"
+        ])
+        .is_ok());
+        assert!(
+            run_tokens(&["lattice", "verify", p, "--samples", "5", "--seed", "3"]).is_ok(),
+            "served lookups must agree with the exact solver"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(dir.join("lattice_exponential.manifest.json")).ok();
+    }
+
+    #[test]
+    fn lattice_requires_action_and_inputs() {
+        assert!(run_tokens(&["lattice"]).is_err());
+        assert!(run_tokens(&["lattice", "frobnicate"]).is_err());
+        // build without --family, or with an un-gridded family.
+        assert!(run_tokens(&["lattice", "build"]).is_err());
+        assert!(run_tokens(&["lattice", "build", "--family", "pareto"]).is_err());
+        // verify with neither a path nor --family cannot resolve the
+        // artifact; with a missing file it is a clean error.
+        assert!(run_tokens(&["lattice", "verify"]).is_err());
+        assert!(run_tokens(&["lattice", "verify", "/nonexistent/lattice.json"]).is_err());
+        // query rejects truncation suffixes and non-gridded law syntax.
+        assert!(run_tokens(&[
+            "lattice",
+            "query",
+            "/nonexistent/lattice.json",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt-mean",
+            "5",
+            "--reservation",
+            "29"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn lattice_corrupted_artifact_is_clean_error() {
+        let dir = std::env::temp_dir().join("resq-cli-lattice-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lattice_exponential.json");
+        std::fs::write(&path, "{\"format\": \"something-else/v0\"}").unwrap();
+        let e = run_tokens(&[
+            "lattice",
+            "query",
+            path.to_str().unwrap(),
+            "--task",
+            "exponential:5",
+            "--ckpt-mean",
+            "0.2",
+            "--reservation",
+            "1",
+        ]);
+        assert!(e.is_err(), "wrong format tag must be a typed error, not a panic");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -30,9 +30,14 @@
 //! * [`reservation`] — §4.4 and beyond: multi-reservation campaigns with
 //!   recovery cost, continue-vs-drop decisions and the two billing models
 //!   discussed by the paper (pay-per-reservation vs pay-per-use).
+//! * [`lattice`] — precomputed policy lattices: the paper's decision
+//!   quantities (`X_opt`, `n_opt`, `E(n_opt)`, `W_int`) tabulated offline
+//!   over normalized law-shape grids and answered in O(µs) by checked
+//!   multilinear interpolation, with exact-solver fallback.
 
 pub mod controller;
 pub mod error;
+pub mod lattice;
 pub mod policy;
 pub mod preemptible;
 pub mod reliability;
@@ -43,6 +48,10 @@ pub mod workflow;
 
 pub use controller::{ControllerState, ReservationController};
 pub use error::CoreError;
+pub use lattice::{
+    AnswerSource, AxisSpec, LatticeError, LatticePlanner, LatticeSpec, LawFamily, PolicyAnswer,
+    PolicyLattice, PolicyQuery, TaskParams,
+};
 pub use policy::{
     Action, DynamicWorkflowPolicy, FixedLeadPolicy, PessimisticWorkflowPolicy,
     PreemptiblePolicy, StaticWorkflowPolicy, WorkflowPolicy,

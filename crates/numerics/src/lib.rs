@@ -17,11 +17,15 @@
 //!   `n_opt` selection of the static strategy.
 //! * [`sum`] — compensated (Neumaier) summation for the long Poisson sums
 //!   of §4.2.3/§4.3.3.
+//! * [`grid`] — dense N-dimensional tables with multilinear
+//!   interpolation and a two-resolution a-posteriori error estimate, the
+//!   substrate of the precomputed policy lattices.
 //! * [`error`] — the shared [`NumericsError`] type: non-bracketing
 //!   intervals, iteration-cap exhaustion and quadrature non-convergence
 //!   are typed errors, not panics or silent best-effort returns.
 
 pub mod error;
+pub mod grid;
 pub mod memo;
 pub mod optimize;
 pub mod quad;
@@ -29,6 +33,7 @@ pub mod roots;
 pub mod sum;
 
 pub use error::NumericsError;
+pub use grid::{for_each_cell_center, for_each_cell_probe, for_each_node, NdAxis, NdGrid};
 pub use optimize::{
     brent_max, brent_min, grid_max, integer_argmax, round_to_better_integer, Extremum, GridSpec,
 };

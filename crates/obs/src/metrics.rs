@@ -343,6 +343,29 @@ pub static SOLVER_CACHE_MISSES_TOTAL: Counter = Counter::new(
     "solver kernel-cache lookups that built a new distribution lattice",
 );
 
+/// Policy-lattice queries answered by multilinear interpolation (the
+/// O(µs) path; see `docs/LATTICES.md`).
+pub static LATTICE_LOOKUP_HITS_TOTAL: Counter = Counter::new(
+    "lattice_lookup_hits_total",
+    "policy-lattice queries answered by multilinear interpolation",
+);
+
+/// Policy-lattice queries that fell outside the precomputed grid (wrong
+/// family, incompatible checkpoint shape, or coordinates out of range)
+/// and were answered by the exact solver instead.
+pub static LATTICE_LOOKUP_MISSES_TOTAL: Counter = Counter::new(
+    "lattice_lookup_misses_total",
+    "policy-lattice queries outside the precomputed grid (answered exactly)",
+);
+
+/// In-grid policy-lattice queries whose two-resolution a-posteriori
+/// interpolation error estimate exceeded the artifact's tolerance, so
+/// the exact solver answered instead.
+pub static LATTICE_FALLBACKS_TOTAL: Counter = Counter::new(
+    "lattice_fallbacks_total",
+    "in-grid lattice queries re-answered exactly after failing the error check",
+);
+
 /// Distribution of trials processed per worker thread per run —
 /// lopsided buckets mean poor load balance.
 pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
@@ -363,6 +386,9 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &CKPT_FAILURES_TOTAL,
     &SOLVER_CACHE_HITS_TOTAL,
     &SOLVER_CACHE_MISSES_TOTAL,
+    &LATTICE_LOOKUP_HITS_TOTAL,
+    &LATTICE_LOOKUP_MISSES_TOTAL,
+    &LATTICE_FALLBACKS_TOTAL,
 ];
 
 /// Every registered histogram, in display order.

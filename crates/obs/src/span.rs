@@ -74,6 +74,15 @@ pub mod span_name {
     /// `StaticStrategy::optimize`. Nests under [`SOLVE_STATIC`] as
     /// `solve/static/objective` in practice.
     pub const SOLVE_OBJECTIVE: &str = "solve/objective";
+    /// One policy-lattice query (`PolicyLattice::query`): the O(µs)
+    /// interpolated lookup, *including* the exact-solver fallback when
+    /// the query is out of grid or fails the a-posteriori error check —
+    /// fallback solves nest under it as `solve/lattice_lookup/solve/…`.
+    pub const SOLVE_LATTICE_LOOKUP: &str = "solve/lattice_lookup";
+    /// One offline policy-lattice precomputation
+    /// (`resq_core::lattice::build`); the per-node exact solves nest
+    /// under it.
+    pub const LATTICE_BUILD: &str = "lattice/build";
 
     /// Every canonical span name, for docs-sync checks.
     pub const ALL: &[&str] = &[
@@ -81,6 +90,8 @@ pub mod span_name {
         SOLVE_STATIC,
         SOLVE_DYNAMIC,
         SOLVE_OBJECTIVE,
+        SOLVE_LATTICE_LOOKUP,
+        LATTICE_BUILD,
         MC_RUN,
         MC_CHUNK,
         MC_BATCH,

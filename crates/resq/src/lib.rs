@@ -48,12 +48,13 @@
 //!   above).
 
 pub use resq_core::{
-    Action, CampaignModel, CheckpointPlan, CheckpointReliability, ControllerState,
-    ConvolutionStatic, CoreError, DeterministicPlan, DeterministicWorkflow, DpSolution,
-    DynamicStrategy, DynamicWorkflowPolicy, FixedLeadPolicy, HeterogeneousDynamic,
-    PessimisticWorkflowPolicy, Preemptible, PreemptiblePolicy, ReservationController,
+    Action, AnswerSource, AxisSpec, CampaignModel, CheckpointPlan, CheckpointReliability,
+    ControllerState, ConvolutionStatic, CoreError, DeterministicPlan, DeterministicWorkflow,
+    DpSolution, DynamicStrategy, DynamicWorkflowPolicy, FixedLeadPolicy, HeterogeneousDynamic,
+    LatticeError, LatticePlanner, LatticeSpec, LawFamily, PessimisticWorkflowPolicy, PolicyAnswer,
+    PolicyLattice, PolicyQuery, Preemptible, PreemptiblePolicy, ReservationController,
     RetryDynamicStrategy, RetryPolicy, RetryPreemptible, RetryStaticStrategy, SolveCache, Stage,
-    StaticPlan, StaticStrategy, StaticWorkflowPolicy, TaskDuration, WorkflowPolicy,
+    StaticPlan, StaticStrategy, StaticWorkflowPolicy, TaskDuration, TaskParams, WorkflowPolicy,
 };
 
 /// Special functions (re-export of `resq-specfun`).

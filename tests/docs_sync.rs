@@ -178,6 +178,56 @@ fn obs_subcommands_are_in_usage_and_docs() {
 }
 
 #[test]
+fn lattices_doc_commands_match_the_cli() {
+    check_doc_commands("docs/LATTICES.md");
+}
+
+#[test]
+fn lattice_subcommands_are_in_usage_and_docs() {
+    let doc = read("docs/LATTICES.md");
+    assert!(
+        USAGE.contains("\n  lattice "),
+        "USAGE lost the `lattice` subcommand"
+    );
+    for action in resq_cli::LATTICE_ACTIONS {
+        assert!(
+            USAGE.contains(&format!("lattice {action} ")),
+            "USAGE lost `lattice {action}`"
+        );
+        assert!(
+            doc.contains(&format!("lattice {action}")),
+            "docs/LATTICES.md does not document `resq lattice {action}`"
+        );
+    }
+    for family in resq_cli::LATTICE_FAMILIES {
+        assert!(
+            doc.contains(&format!("`{family}`")),
+            "docs/LATTICES.md does not document the `{family}` family"
+        );
+    }
+}
+
+#[test]
+fn lattices_doc_pins_the_artifact_contract() {
+    // The format tag, the lookup span and the three outcome counters are
+    // load-bearing names: the doc is the spec, so it must use them
+    // verbatim.
+    let doc = read("docs/LATTICES.md");
+    for name in [
+        "resq-policy-lattice/v1",
+        "solve/lattice_lookup",
+        "lattice_lookup_hits_total",
+        "lattice_lookup_misses_total",
+        "lattice_fallbacks_total",
+    ] {
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "docs/LATTICES.md does not pin `{name}`"
+        );
+    }
+}
+
+#[test]
 fn metrics_formats_are_in_usage_and_docs() {
     let doc = read("docs/OBSERVABILITY.md");
     for fmt in resq_cli::METRICS_FORMATS {
