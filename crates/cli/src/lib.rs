@@ -11,7 +11,7 @@ pub mod spec;
 /// Actions of the `resq obs` subcommand family, in the order they are
 /// documented. `tests/docs_sync.rs` checks the observability guide
 /// covers each one.
-pub const OBS_ACTIONS: &[&str] = &["summarize", "diff"];
+pub const OBS_ACTIONS: &[&str] = &["summarize", "diff", "serve", "export-trace"];
 
 /// Actions of the `resq lattice` subcommand family, in the order they
 /// are documented. `tests/docs_sync.rs` checks `docs/LATTICES.md`
@@ -69,6 +69,14 @@ COMMANDS:
       obs diff <a.manifest.json> <b.manifest.json>
                                               report config/provenance drift
                                               between two manifests
+      obs serve [<events.jsonl>]              live telemetry over HTTP: /metrics
+          [--addr <host:port>=127.0.0.1:9779] (Prometheus text), /metrics.json,
+                                              /healthz, /spans, /runs; with an
+                                              events file, tails it into /runs.
+                                              Stops cleanly on SIGTERM/SIGINT
+      obs export-trace <events.jsonl>         convert an event log to Chrome
+          [--out <trace.json>]                trace_event JSON (chrome://tracing,
+                                              Perfetto); stdout without --out
   lattice           precomputed policy lattices: O(µs) checkpoint decisions by
                     interpolation, exact-solver fallback (docs/LATTICES.md).
                     <artifact.json> defaults to
@@ -95,6 +103,8 @@ OBSERVABILITY (every command):
                       choose the exposition: human summary, Prometheus text
                       format, or a single JSON object
   --progress          print live progress to stderr (simulate only)
+  --serve <host:port> serve the live telemetry endpoints (see `obs serve`) for
+                      the duration of the command, e.g. --serve 127.0.0.1:9779
 
 LAW SYNTAX:
   uniform:a,b | exponential:lambda | normal:mu,sigma | lognormal:mu,sigma |

@@ -14,7 +14,10 @@
 //! documented in `docs/OBSERVABILITY.md`.
 
 use resq::dist::{Distribution, Xoshiro256pp};
-use resq::obs::{event_type, Event, JsonlSink, NullSink, RunManifest, RunSink};
+use resq::obs::{
+    chrometrace, event_type, http, span, tracectx, Event, JsonlSink, NullSink, RunInfo,
+    RunManifest, RunRegistry, RunSink, TraceCtx, TracedSink,
+};
 use resq::sim::{
     run_trials, run_trials_batched, run_trials_observed, BatchScratch, FaultyWorkflowSim,
     MonteCarloConfig, ReliabilityInjector, WorkflowSim,
@@ -27,7 +30,7 @@ use resq::{
 use resq_cli::args::{ArgError, Args};
 use resq_cli::spec::{parse_law, parse_retry, DynLaw, LawSpec};
 use resq_cli::{LATTICE_ACTIONS, LATTICE_FAMILIES, METRICS_FORMATS, OBS_ACTIONS, USAGE};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 fn main() {
@@ -65,6 +68,19 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             args.positionals[0]
         )));
     }
+    // `--serve <addr>`: publish the live telemetry endpoints for the
+    // duration of the command. The server reads atomic metric/span/run
+    // snapshots only, and the flag is excluded from the run fingerprint,
+    // so attaching a scraper cannot change results or event logs.
+    let server = match args.get("serve") {
+        Some(addr) => {
+            let s = http::serve(http::ServerConfig::new(addr))
+                .map_err(|e| ArgError(format!("cannot serve on `{addr}`: {e}")))?;
+            eprintln!("telemetry         : http://{}/metrics", s.local_addr());
+            Some(s)
+        }
+        None => None,
+    };
     let result = match args.command.as_deref() {
         Some("plan-preemptible") => plan_preemptible(&args),
         Some("plan-static") => plan_static(&args),
@@ -87,6 +103,9 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
             None => {}
         }
     }
+    if let Some(server) = server {
+        server.stop();
+    }
     result
 }
 
@@ -108,7 +127,34 @@ fn obs_command(args: &Args) -> Result<(), ArgError> {
             let path = args.positionals.get(1).ok_or_else(usage)?;
             let text = read(path)?;
             let summary = resq::obs::LogSummary::from_lines(text.lines());
+            // A file with zero parseable event rows (empty, wholly
+            // corrupt, or truncated before the first complete line) is
+            // an error, not an all-zeros summary that looks plausible.
+            if summary.rows == summary.malformed {
+                return Err(ArgError(format!(
+                    "`{path}` contains no event rows (empty, truncated, or not an events.jsonl file)"
+                )));
+            }
             print!("{}", summary.format());
+            Ok(())
+        }
+        Some("serve") => obs_serve(args),
+        Some("export-trace") => {
+            let path = args.positionals.get(1).ok_or_else(usage)?;
+            let text = read(path)?;
+            let export = chrometrace::export(&text).map_err(|e| ArgError(format!("`{path}`: {e}")))?;
+            match args.get("out") {
+                Some(out) => {
+                    std::fs::write(out, &export.json)
+                        .map_err(|e| ArgError(format!("cannot write `{out}`: {e}")))?;
+                    eprintln!("trace written     : {out}");
+                }
+                None => print!("{}", export.json),
+            }
+            eprintln!(
+                "events converted  : {} ({} run(s), {} line(s) skipped)",
+                export.events, export.runs, export.skipped
+            );
             Ok(())
         }
         Some("diff") => {
@@ -129,6 +175,174 @@ fn obs_command(args: &Args) -> Result<(), ArgError> {
         }
         _ => Err(usage()),
     }
+}
+
+/// Process-wide stop flag flipped by SIGTERM/SIGINT so `resq obs serve`
+/// can shut the accept loop down and exit 0 (the CI telemetry job
+/// asserts this clean-shutdown path).
+static SERVE_STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that set [`SERVE_STOP`]. Hand-rolled
+/// through libc's `signal(2)` (linked by std already) to stay within the
+/// workspace's no-new-dependencies policy; storing to an atomic is
+/// async-signal-safe.
+#[cfg(unix)]
+fn install_stop_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SERVE_STOP.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal as *const () as usize); // SIGTERM
+        signal(2, on_signal as *const () as usize); // SIGINT
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_signal_handlers() {}
+
+/// Incremental reader for `resq obs serve <events.jsonl>`: re-reads the
+/// file from the last seen offset, applies complete lines to the global
+/// [`RunRegistry`], and keeps a torn final line buffered until the
+/// writer completes it.
+struct LogTailer {
+    path: std::path::PathBuf,
+    offset: u64,
+    partial: String,
+    current: Option<std::sync::Arc<RunInfo>>,
+    ordinal: u64,
+}
+
+impl LogTailer {
+    fn new(path: std::path::PathBuf) -> Self {
+        Self {
+            path,
+            offset: 0,
+            partial: String::new(),
+            current: None,
+            ordinal: 0,
+        }
+    }
+
+    /// Reads newly appended bytes and applies the complete lines.
+    /// Transient I/O errors are skipped (the next poll retries); a
+    /// shrunken file is treated as rotation and re-read from the start.
+    fn poll(&mut self) {
+        use std::io::{Read, Seek, SeekFrom};
+        let Ok(mut file) = std::fs::File::open(&self.path) else {
+            return;
+        };
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            self.offset = 0;
+            self.partial.clear();
+            self.current = None;
+        }
+        if len == self.offset || file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return;
+        }
+        let mut buf = String::new();
+        if file.take(len - self.offset).read_to_string(&mut buf).is_err() {
+            return;
+        }
+        self.offset = len;
+        self.partial.push_str(&buf);
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial[..nl].trim().to_string();
+            self.partial.drain(..=nl);
+            if !line.is_empty() {
+                self.apply(&line);
+            }
+        }
+    }
+
+    fn apply(&mut self, line: &str) {
+        let Ok(row) = resq::obs::json::parse(line) else {
+            return;
+        };
+        let Some(ty) = row.get("type").and_then(|v| v.as_str()) else {
+            return;
+        };
+        match ty {
+            "run-started" => {
+                self.ordinal += 1;
+                // Logs from before run ids existed still get a row on
+                // /runs, keyed by their ordinal position in the file.
+                let run_id = row
+                    .get("run_id")
+                    .and_then(|v| v.as_str())
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or(self.ordinal);
+                let command = row
+                    .get("command")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                let seed = row.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+                let trials = row.get("trials").and_then(|v| v.as_u64()).unwrap_or(0);
+                let info = RunInfo::new(run_id, command, seed, trials);
+                RunRegistry::global().register(info.clone());
+                self.current = Some(info);
+            }
+            "chunk-progress" => {
+                if let (Some(run), Some(done)) =
+                    (&self.current, row.get("trials_done").and_then(|v| v.as_u64()))
+                {
+                    run.set_progress(done);
+                }
+            }
+            "run-finished" => {
+                if let Some(run) = self.current.take() {
+                    if let Some(trials) = row.get("trials").and_then(|v| v.as_u64()) {
+                        run.set_progress(trials);
+                    }
+                    run.mark_finished();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `resq obs serve [<events.jsonl>] [--addr <host:port>]`: the
+/// standalone telemetry server. Serves every [`http::ENDPOINTS`] path;
+/// with an events file, tails it into the run registry so `/runs`
+/// reflects the log's progress live. Runs until SIGTERM/SIGINT, then
+/// shuts the server down and exits 0.
+fn obs_serve(args: &Args) -> Result<(), ArgError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9779");
+    let events_path = args.positionals.get(1).map(std::path::PathBuf::from);
+    if let Some(path) = &events_path {
+        if !path.is_file() {
+            return Err(ArgError(format!(
+                "cannot tail `{}`: not a readable file",
+                path.display()
+            )));
+        }
+    }
+    install_stop_signal_handlers();
+    let server = http::serve(http::ServerConfig::new(addr))
+        .map_err(|e| ArgError(format!("cannot serve on `{addr}`: {e}")))?;
+    eprintln!(
+        "serving           : http://{} ({})",
+        server.local_addr(),
+        http::ENDPOINTS.join(" ")
+    );
+    let mut tailer = events_path.map(|p| {
+        eprintln!("tailing           : {}", p.display());
+        LogTailer::new(p)
+    });
+    while !SERVE_STOP.load(Ordering::Relaxed) {
+        if let Some(t) = tailer.as_mut() {
+            t.poll();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    server.stop();
+    eprintln!("stopped cleanly   : signal received, accept loop joined");
+    Ok(())
 }
 
 /// The `resq lattice` subcommand family: precomputed policy lattices
@@ -231,7 +445,7 @@ fn lattice_build(args: &Args) -> Result<(), ArgError> {
                 .map_err(|e| ArgError(format!("cannot create `{}`: {e}", dir.display())))?;
         }
     }
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("lattice build", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "lattice build")
@@ -282,7 +496,7 @@ fn lattice_query(args: &Args) -> Result<(), ArgError> {
         ckpt_sigma,
         r,
     };
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("lattice query", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "lattice query")
@@ -345,7 +559,7 @@ fn lattice_verify(args: &Args) -> Result<(), ArgError> {
     let samples = args.u64_or("samples", 100)?;
     let seed = args.u64_or("seed", 42)?;
     let tolerance = args.f64_or("tolerance", lattice.tolerance())?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("lattice verify", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "lattice verify")
@@ -433,16 +647,33 @@ fn lattice_verify(args: &Args) -> Result<(), ArgError> {
 }
 
 /// Per-command observability bundle: the event sink (JSONL when
-/// `--log-json` is given, null otherwise) plus everything needed to
-/// write the provenance manifest sidecar at the end.
+/// `--log-json` is given, null otherwise) wrapped in a [`TracedSink`]
+/// that stamps the run's trace context onto every row, plus everything
+/// needed to write the provenance manifest sidecar at the end.
 struct Obs {
-    sink: Box<dyn RunSink>,
+    sink: TracedSink<Box<dyn RunSink>>,
+    command: String,
     log_path: Option<std::path::PathBuf>,
     start: Instant,
 }
 
 impl Obs {
-    fn from_args(args: &Args) -> Result<Self, ArgError> {
+    /// Flags outside the determinism contract. They must not enter the
+    /// run fingerprint: re-running the same semantic configuration with
+    /// a different thread count, exposition switch or output path must
+    /// keep the event log byte-identical — `run_id` fields included.
+    const NON_SEMANTIC_FLAGS: &'static [&'static str] = &[
+        "threads",
+        "progress",
+        "metrics",
+        "metrics-format",
+        "log-json",
+        "serve",
+        "addr",
+        "out",
+    ];
+
+    fn from_args(command: &str, args: &Args) -> Result<Self, ArgError> {
         let (sink, log_path): (Box<dyn RunSink>, _) = match args.get("log-json") {
             Some(path) => {
                 let sink = JsonlSink::create(path)
@@ -451,24 +682,55 @@ impl Obs {
             }
             None => (Box::new(NullSink), None),
         };
+        // Flag keys come out of a BTreeMap, so the pair order (and with
+        // it the fingerprint) is stable across invocations.
+        let pairs: Vec<(&str, &str)> = args
+            .keys()
+            .filter(|k| !Self::NON_SEMANTIC_FLAGS.contains(k))
+            .map(|k| (k, args.get(k).unwrap_or("")))
+            .collect();
+        let ctx = TraceCtx::derive(command, pairs.into_iter());
         Ok(Self {
-            sink,
+            sink: TracedSink::new(sink, ctx),
+            command: command.to_string(),
             log_path,
             start: Instant::now(),
         })
+    }
+
+    fn ctx(&self) -> &TraceCtx {
+        self.sink.ctx()
     }
 
     fn emit(&self, event: Event) {
         self.sink.emit(event);
     }
 
+    /// Registers the run in the global [`RunRegistry`] (the `/runs`
+    /// endpoint) and installs it as the thread's current run so the
+    /// Monte-Carlo workers publish live progress to it. The returned
+    /// guard marks the run finished on drop — hold it across the main
+    /// trial pass only, so replay passes don't inflate the counter.
+    fn enter_run(&self, seed: u64, trials: u64) -> tracectx::RunGuard {
+        let info = RunInfo::with_spans(
+            self.ctx().run_id,
+            self.command.clone(),
+            seed,
+            trials,
+            span::current(),
+        );
+        RunRegistry::global().register(info.clone());
+        tracectx::enter_run(info)
+    }
+
     /// Flushes the event log and, when logging, writes the manifest
     /// sidecar (`run.jsonl` → `run.manifest.json`) stamped with the
-    /// elapsed wall time.
+    /// elapsed wall time and the run's trace fingerprint.
     fn finish(&self, manifest: RunManifest) -> Result<(), ArgError> {
         self.sink.flush();
         if let Some(path) = &self.log_path {
             let sidecar = manifest
+                .config("run_id", self.ctx().run_id_hex())
                 .wall_time_secs(self.start.elapsed().as_secs_f64())
                 .write_for(path)
                 .map_err(|e| ArgError(format!("cannot write manifest: {e}")))?;
@@ -492,7 +754,7 @@ fn plan_preemptible(args: &Args) -> Result<(), ArgError> {
     let ckpt_raw = args.require("ckpt")?.to_string();
     let r = args.require_f64("reservation")?;
     let min_success = args.f64_or("min-success", 0.0)?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("plan-preemptible", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "plan-preemptible")
@@ -537,7 +799,7 @@ fn plan_static(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let ckpt = continuous(args, "ckpt")?;
     let task_raw = args.require("task")?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("plan-static", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "plan-static")
@@ -578,7 +840,7 @@ fn plan_dynamic(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let ckpt = continuous(args, "ckpt")?;
     let task = continuous(args, "task")?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("plan-dynamic", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "plan-dynamic")
@@ -634,7 +896,7 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
     let sample_every = args.u64_or("sample-every", 10_000)?;
     let progress = args.bool_flag("progress");
     let batch = args.bool_flag("batch");
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("simulate", args)?;
     // Config echo. Deliberately NO thread count here: the event log is
     // byte-identical for a fixed seed regardless of --threads (threads
     // and wall time are provenance and live in the manifest). `--batch`
@@ -674,10 +936,15 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
             }
         }
     };
+    // Live-run registration: `/runs` reports this run's progress while
+    // the main pass executes. The guard is dropped (marking the run
+    // finished) before the replay passes below, so re-running the same
+    // trial streams does not inflate the progress counter.
+    let run_guard = obs.enter_run(seed, trials);
     let saved = if batch {
         run_trials_batched(
             cfg,
-            obs.sink.as_ref(),
+            &obs.sink,
             sample_every,
             BatchScratch::new,
             |_, rng, scratch| {
@@ -686,11 +953,12 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
             },
         )
     } else {
-        run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+        run_trials_observed(cfg, &obs.sink, sample_every, |_, rng| {
             note_progress();
             sim.run_once(&policy, rng).work_saved
         })
     };
+    drop(run_guard);
     // The success-rate pass re-runs the same trial streams, so it must
     // use the same kernel as the main pass for the two to agree exactly.
     let success = run_trials(cfg, |_, rng| {
@@ -795,7 +1063,7 @@ fn simulate_faulty(args: &Args) -> Result<(), ArgError> {
     };
     let injector =
         ReliabilityInjector::new(reliability, failstop_rate).map_err(|e| ArgError(e.to_string()))?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("simulate", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "simulate")
@@ -838,10 +1106,13 @@ fn simulate_faulty(args: &Args) -> Result<(), ArgError> {
     // replay passes below re-run trials and would double-count).
     let attempts_before = resq::obs::metrics::CKPT_ATTEMPTS_TOTAL.get();
     let failures_before = resq::obs::metrics::CKPT_FAILURES_TOTAL.get();
+    // Same live-run discipline as the plain path: the guard covers the
+    // main pass only.
+    let run_guard = obs.enter_run(seed, trials);
     let saved = if batch {
         run_trials_batched(
             cfg,
-            obs.sink.as_ref(),
+            &obs.sink,
             sample_every,
             BatchScratch::new,
             |_, rng, scratch| {
@@ -850,11 +1121,12 @@ fn simulate_faulty(args: &Args) -> Result<(), ArgError> {
             },
         )
     } else {
-        run_trials_observed(cfg, obs.sink.as_ref(), sample_every, |_, rng| {
+        run_trials_observed(cfg, &obs.sink, sample_every, |_, rng| {
             note_progress();
             sim.run_once(&policy, rng).outcome.work_saved
         })
     };
+    drop(run_guard);
     let ckpt_attempts = resq::obs::metrics::CKPT_ATTEMPTS_TOTAL.get() - attempts_before;
     let ckpt_failures = resq::obs::metrics::CKPT_FAILURES_TOTAL.get() - failures_before;
     // Success/kill rates re-run the same trial streams with the same
@@ -952,7 +1224,7 @@ fn simulate_faulty(args: &Args) -> Result<(), ArgError> {
 fn learn(args: &Args) -> Result<(), ArgError> {
     let r = args.require_f64("reservation")?;
     let path = args.require("trace")?;
-    let obs = Obs::from_args(args)?;
+    let obs = Obs::from_args("learn", args)?;
     obs.emit(
         Event::new(event_type::RUN_STARTED)
             .str("command", "learn")
@@ -1489,6 +1761,163 @@ mod tests {
         ]);
         assert!(e.is_err(), "wrong format tag must be a typed error, not a panic");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obs_summarize_rejects_empty_and_corrupt_logs() {
+        let dir = std::env::temp_dir().join("resq-cli-obs-empty-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let e = run_tokens(&["obs", "summarize", empty.to_str().unwrap()]);
+        assert!(e.is_err(), "empty log must be an error, not an all-zeros summary");
+        let garbage = dir.join("garbage.jsonl");
+        std::fs::write(&garbage, "not json at all\n{\"no\":\"type\"}\n{torn").unwrap();
+        let e = run_tokens(&["obs", "summarize", garbage.to_str().unwrap()]);
+        assert!(e.is_err(), "wholly corrupt log must be an error");
+        assert!(e.unwrap_err().0.contains("no event rows"));
+        for f in ["empty.jsonl", "garbage.jsonl"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn obs_export_trace_round_trips_a_simulate_log() {
+        let dir = std::env::temp_dir().join("resq-cli-export-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("run.jsonl");
+        run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "9000",
+            "--seed",
+            "5",
+            "--sample-every",
+            "2000",
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = dir.join("trace.json");
+        assert!(run_tokens(&[
+            "obs",
+            "export-trace",
+            log.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .is_ok());
+        let doc = resq::obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap();
+        assert!(matches!(events, resq::obs::json::JsonValue::Array(v) if !v.is_empty()));
+        // Empty logs error rather than exporting a plausible empty trace.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(run_tokens(&["obs", "export-trace", empty.to_str().unwrap()]).is_err());
+        for f in ["run.jsonl", "run.manifest.json", "trace.json", "empty.jsonl"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn obs_serve_exits_cleanly_once_stopped() {
+        // The stop flag doubles as the test hook for the signal path:
+        // pre-setting it makes the serve loop exit on its first check.
+        SERVE_STOP.store(true, Ordering::Relaxed);
+        assert!(run_tokens(&["obs", "serve", "--addr", "127.0.0.1:0"]).is_ok());
+        SERVE_STOP.store(false, Ordering::Relaxed);
+        // A missing events file is a clean startup error.
+        assert!(run_tokens(&["obs", "serve", "/nonexistent.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn simulate_accepts_in_process_serve_flag() {
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "2000",
+            "--serve",
+            "127.0.0.1:0"
+        ])
+        .is_ok());
+        // An unbindable address fails before the run, not after it.
+        assert!(run_tokens(&[
+            "simulate",
+            "--task",
+            "normal:3,0.5@0,",
+            "--ckpt",
+            "normal:5,0.4@0,",
+            "--reservation",
+            "29",
+            "--threshold",
+            "20.3",
+            "--trials",
+            "2000",
+            "--serve",
+            "256.0.0.1:1"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn event_rows_carry_a_joinable_run_id() {
+        let dir = std::env::temp_dir().join("resq-cli-runid-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let capture = |seed: &str, name: &str| {
+            let log = dir.join(name);
+            run_tokens(&[
+                "simulate",
+                "--task",
+                "normal:3,0.5@0,",
+                "--ckpt",
+                "normal:5,0.4@0,",
+                "--reservation",
+                "29",
+                "--threshold",
+                "20.3",
+                "--trials",
+                "2000",
+                "--seed",
+                seed,
+                "--log-json",
+                log.to_str().unwrap(),
+            ])
+            .unwrap();
+            let text = std::fs::read_to_string(&log).unwrap();
+            std::fs::remove_file(&log).ok();
+            std::fs::remove_file(dir.join(name.replace(".jsonl", ".manifest.json"))).ok();
+            text
+        };
+        let a = capture("1", "a.jsonl");
+        let b = capture("2", "b.jsonl");
+        let run_id_of = |text: &str| {
+            let row = resq::obs::json::parse(text.lines().next().unwrap()).unwrap();
+            row.get("run_id").and_then(|v| v.as_str()).map(String::from)
+        };
+        let (ida, idb) = (run_id_of(&a).unwrap(), run_id_of(&b).unwrap());
+        assert_eq!(ida.len(), 16);
+        assert_ne!(ida, idb, "seed is semantic, so the fingerprint must differ");
+        // Every row of a run carries the same run_id.
+        for line in a.lines() {
+            let row = resq::obs::json::parse(line).unwrap();
+            assert_eq!(row.get("run_id").and_then(|v| v.as_str()), Some(ida.as_str()));
+        }
     }
 
     #[test]

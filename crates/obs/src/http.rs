@@ -1,0 +1,608 @@
+//! The live telemetry plane: a hand-rolled, dependency-free HTTP/1.1
+//! server exposing the metric, span and run registries of the process
+//! it runs in.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No interference with the observed workload.** Every endpoint
+//!    renders from a point-in-time [`Snapshot`] (and span/run
+//!    snapshots) captured up front, never from live iteration over the
+//!    registries; the server holds no lock while writing to a socket.
+//!    Handling a request touches nothing that lands in event rows, so
+//!    scraping a run cannot change its byte-stable log
+//!    (`tests/determinism.rs` proves this with a scraper attached).
+//! 2. **Bounded everything.** A nonblocking accept loop polls a stop
+//!    flag; accepted connections are dispatched to a small fixed worker
+//!    pool over a bounded queue (overflow is answered `503` inline);
+//!    each connection gets read/write timeouts, an overall header
+//!    deadline, and a request-size cap. A slowloris client costs one
+//!    worker slot for at most the read timeout.
+//! 3. **`std` only.** The workspace builds offline; the server is plain
+//!    `TcpListener`/`TcpStream` with a hand-written request parser
+//!    (GET-only — the telemetry plane is read-only by construction).
+//!
+//! Endpoints (the canonical list is [`ENDPOINTS`], pinned against
+//! `docs/OBSERVABILITY.md` by `tests/docs_sync.rs`):
+//!
+//! | Path | Payload |
+//! |---|---|
+//! | `/healthz` | `ok` (text/plain) |
+//! | `/metrics` | Prometheus text exposition ([`metrics::format_prometheus_from`]) |
+//! | `/metrics.json` | JSON exposition ([`metrics::format_json_from`]) |
+//! | `/spans` | span hierarchy + quantiles, process-wide and per run |
+//! | `/runs` | the live [`RunRegistry`]: id, config echo, progress, state |
+
+use crate::json::write_escaped;
+use crate::metrics::{self, Snapshot, HTTP_ERRORS_TOTAL, HTTP_REQUESTS_TOTAL};
+use crate::span::{self, SpanStats};
+use crate::tracectx::RunRegistry;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Every path the server answers, sorted; anything else is `404`.
+pub const ENDPOINTS: &[&str] = &["/healthz", "/metrics", "/metrics.json", "/runs", "/spans"];
+
+/// Tunables for [`serve`]; [`ServerConfig::new`] gives the production
+/// defaults (tests shrink the timeouts).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:9779` (`:0` for an ephemeral
+    /// port — read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Per-connection socket read timeout *and* overall deadline for
+    /// receiving the complete request head.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted request head (request line + headers) in bytes;
+    /// larger requests are answered `431`.
+    pub max_request_bytes: usize,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers; overflow is
+    /// answered `503` from the accept thread.
+    pub queue_depth: usize,
+}
+
+impl ServerConfig {
+    /// Production defaults for the given bind address.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            max_request_bytes: 8 * 1024,
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// A running telemetry server; dropping (or [`Server::stop`]) shuts it
+/// down and joins every thread.
+pub struct Server {
+    stop: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server with production defaults on `addr`.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        serve(ServerConfig::new(addr))
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The stop flag; setting it true makes the accept loop wind down.
+    /// A signal handler can flip this, then the owner calls
+    /// [`Server::stop`] to join.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Stops accepting, drains the workers, joins every thread.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// Binds `config.addr` and spawns the accept loop plus worker pool.
+pub fn serve(config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let cfg = config.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("resq-obs-http-{i}"))
+                .spawn(move || worker_loop(&rx, &cfg))
+                .expect("spawn http worker"),
+        );
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_cfg = config.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("resq-obs-http-accept".to_string())
+        .spawn(move || {
+            // `tx` moves in here; dropping it on exit disconnects the
+            // workers' queue, which is their shutdown signal.
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
+                            // Bounded queue is the backpressure valve:
+                            // shed load loudly instead of queueing
+                            // without limit.
+                            HTTP_REQUESTS_TOTAL.inc();
+                            HTTP_ERRORS_TOTAL.inc();
+                            let _ = stream.set_write_timeout(Some(accept_cfg.write_timeout));
+                            respond_error(&stream, 503, "Service Unavailable");
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                        // Disconnected can only happen mid-shutdown;
+                        // the loop condition handles it next turn.
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })
+        .expect("spawn http accept loop");
+
+    Ok(Server {
+        stop,
+        local_addr,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, config: &ServerConfig) {
+    loop {
+        // Holding the lock while blocked in recv is fine: sibling
+        // workers queue on the mutex and get the next connection in
+        // turn; sender drop wakes the holder, which exits and releases.
+        let stream = {
+            let guard = rx.lock().expect("http worker queue poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, config),
+            Err(_) => return, // accept loop gone: shutdown
+        }
+    }
+}
+
+enum ReadOutcome {
+    /// Complete request head (through the blank line).
+    Complete(Vec<u8>),
+    /// Head exceeded `max_request_bytes`.
+    TooLarge,
+    /// EOF, socket error, or deadline before the head completed
+    /// (slowloris and friends) — drop without a response.
+    Incomplete,
+}
+
+fn read_request_head(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
+    let deadline = Instant::now() + config.read_timeout;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            return ReadOutcome::Complete(buf);
+        }
+        if buf.len() > config.max_request_bytes {
+            return ReadOutcome::TooLarge;
+        }
+        if Instant::now() >= deadline {
+            // A drip-feeding client cannot reset the clock: the
+            // deadline is absolute per connection.
+            return ReadOutcome::Incomplete;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Incomplete,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return ReadOutcome::Incomplete;
+            }
+            Err(_) => return ReadOutcome::Incomplete,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, config: &ServerConfig) {
+    HTTP_REQUESTS_TOTAL.inc();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let head = match read_request_head(&mut stream, config) {
+        ReadOutcome::Complete(head) => head,
+        ReadOutcome::TooLarge => {
+            HTTP_ERRORS_TOTAL.inc();
+            respond_error(&stream, 431, "Request Header Fields Too Large");
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        ReadOutcome::Incomplete => {
+            HTTP_ERRORS_TOTAL.inc();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        HTTP_ERRORS_TOTAL.inc();
+        respond_error(&stream, 400, "Bad Request");
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    if method != "GET" {
+        HTTP_ERRORS_TOTAL.inc();
+        respond(
+            &stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed; the telemetry plane is GET-only\n",
+            &["Allow: GET"],
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    match path {
+        "/healthz" => respond(
+            &stream,
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            "ok\n",
+            &[],
+        ),
+        "/metrics" => {
+            let snap = Snapshot::capture();
+            let spans = span::global().snapshot();
+            let body = metrics::format_prometheus_from(&snap, &spans);
+            respond(
+                &stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+                &[],
+            );
+        }
+        "/metrics.json" => {
+            let snap = Snapshot::capture();
+            let spans = span::global().snapshot();
+            let body = metrics::format_json_from(&snap, &spans);
+            respond(&stream, 200, "OK", "application/json", &body, &[]);
+        }
+        "/spans" => {
+            let body = render_spans_json(RunRegistry::global());
+            respond(&stream, 200, "OK", "application/json", &body, &[]);
+        }
+        "/runs" => {
+            let body = render_runs_json(RunRegistry::global());
+            respond(&stream, 200, "OK", "application/json", &body, &[]);
+        }
+        _ => {
+            HTTP_ERRORS_TOTAL.inc();
+            respond_error(&stream, 404, "Not Found");
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn respond(
+    mut stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[&str],
+) {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        out.push_str(h);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
+}
+
+fn respond_error(stream: &TcpStream, status: u16, reason: &str) {
+    respond(
+        stream,
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        &format!("{reason}\n"),
+        &[],
+    );
+}
+
+fn push_span_stats(out: &mut String, spans: &[SpanStats]) {
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        write_escaped(out, &s.path);
+        out.push_str(&format!(
+            ",\"count\":{},\"total_nanos\":{},\"mean_nanos\":{:.1},\"p50_nanos\":{:.1},\"p90_nanos\":{:.1},\"p99_nanos\":{:.1}}}",
+            s.count,
+            s.total_nanos,
+            s.mean_nanos(),
+            s.quantile_nanos(0.50),
+            s.quantile_nanos(0.90),
+            s.quantile_nanos(0.99),
+        ));
+    }
+    out.push(']');
+}
+
+/// The `/spans` payload: span paths with counts and bucket-estimated
+/// latency quantiles (power-of-two buckets — factor-of-2 estimates, see
+/// `docs/KNOWN_ISSUES.md`), for the process-global registry and for
+/// each registered run's own registry (keyed by `run_id`, which is what
+/// makes span rows joinable against event rows).
+pub fn render_spans_json(registry: &RunRegistry) -> String {
+    let mut out = String::from("{\"process\":");
+    push_span_stats(&mut out, &span::global().snapshot());
+    out.push_str(",\"runs\":[");
+    for (i, run) in registry.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"run_id\":");
+        write_escaped(&mut out, &run.run_id_hex());
+        out.push_str(",\"command\":");
+        write_escaped(&mut out, &run.command);
+        out.push_str(",\"spans\":");
+        push_span_stats(&mut out, &run.spans().snapshot());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/runs` payload: every registered run with its identity, config
+/// echo, live progress counter and lifecycle state.
+pub fn render_runs_json(registry: &RunRegistry) -> String {
+    let mut out = String::from("{\"runs\":[");
+    for (i, run) in registry.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"run_id\":");
+        write_escaped(&mut out, &run.run_id_hex());
+        out.push_str(",\"command\":");
+        write_escaped(&mut out, &run.command);
+        out.push_str(&format!(
+            ",\"seed\":{},\"trials\":{},\"trials_done\":{},\"state\":\"{}\"}}",
+            run.seed,
+            run.trials,
+            run.trials_done(),
+            run.state().as_str(),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::tracectx::RunInfo;
+
+    fn test_server() -> Server {
+        let mut cfg = ServerConfig::new("127.0.0.1:0");
+        cfg.read_timeout = Duration::from_millis(200);
+        cfg.write_timeout = Duration::from_millis(200);
+        serve(cfg).expect("bind test server")
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    fn body_of(response: &str) -> &str {
+        response
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body)
+            .unwrap_or("")
+    }
+
+    #[test]
+    fn healthz_and_unknown_path() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let ok = get(addr, "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert_eq!(body_of(&ok), "ok\n");
+        assert!(ok.contains("Content-Length: 3\r\n"), "{ok}");
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 "), "{missing}");
+        server.stop();
+    }
+
+    #[test]
+    fn metrics_endpoints_render_valid_payloads() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let prom = get(addr, "/metrics");
+        assert!(prom.starts_with("HTTP/1.1 200 OK\r\n"), "{prom}");
+        assert!(prom.contains("text/plain; version=0.0.4"));
+        assert!(body_of(&prom).contains("# TYPE resq_mc_trials_run counter"));
+        let js = get(addr, "/metrics.json");
+        let parsed = json::parse(body_of(&js)).expect("metrics.json parses");
+        assert!(parsed.get("counters").is_some());
+        let spans = get(addr, "/spans");
+        assert!(json::parse(body_of(&spans)).expect("spans parses").get("process").is_some());
+        let runs = get(addr, "/runs");
+        assert!(json::parse(body_of(&runs)).expect("runs parses").get("runs").is_some());
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_method_is_405_with_allow_header() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let resp = request(
+            addr,
+            "POST /metrics HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 405 "), "{resp}");
+        assert!(resp.contains("Allow: GET\r\n"), "{resp}");
+        // The accept loop is not wedged.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 "));
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let resp = request(addr, "???\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_header_is_431() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+            "a".repeat(16 * 1024)
+        );
+        let resp = request(addr, &huge);
+        assert!(resp.starts_with("HTTP/1.1 431 "), "{resp}");
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 "));
+        server.stop();
+    }
+
+    #[test]
+    fn slowloris_partial_request_times_out_without_wedging() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let before = HTTP_ERRORS_TOTAL.get();
+        // Send a partial request line and then go silent.
+        let mut slow = TcpStream::connect(addr).expect("connect");
+        slow.write_all(b"GET /metr").expect("send partial");
+        // While the slow client ties up one worker, a healthy client on
+        // the other worker still gets served.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 "));
+        // After the deadline the connection is dropped with no response.
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = Vec::new();
+        let n = slow.read_to_end(&mut out).unwrap_or(0);
+        assert_eq!(n, 0, "slowloris got a response: {:?}", out);
+        // And the server is still healthy afterwards.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 "));
+        assert!(HTTP_ERRORS_TOTAL.get() > before);
+        server.stop();
+    }
+
+    #[test]
+    fn runs_payload_reflects_registry_progress() {
+        let registry = RunRegistry::new();
+        let info = RunInfo::new(0x00ff, "simulate", 9, 5000);
+        registry.register(info.clone());
+        info.add_progress(4096);
+        info.spans().record("sim/mc", 1_000);
+        let runs = json::parse(&render_runs_json(&registry)).unwrap();
+        let row = match runs.get("runs") {
+            Some(json::JsonValue::Array(rows)) => rows[0].clone(),
+            other => panic!("runs not an array: {other:?}"),
+        };
+        assert_eq!(row.get("run_id").unwrap().as_str(), Some("00000000000000ff"));
+        assert_eq!(row.get("trials_done").unwrap().as_u64(), Some(4096));
+        assert_eq!(row.get("state").unwrap().as_str(), Some("running"));
+        let spans = json::parse(&render_spans_json(&registry)).unwrap();
+        let runs_spans = match spans.get("runs") {
+            Some(json::JsonValue::Array(rows)) => rows[0].clone(),
+            other => panic!("spans.runs not an array: {other:?}"),
+        };
+        assert_eq!(
+            runs_spans.get("run_id").unwrap().as_str(),
+            Some("00000000000000ff")
+        );
+    }
+
+    #[test]
+    fn stop_joins_cleanly_and_releases_the_port() {
+        let server = test_server();
+        let addr = server.local_addr();
+        server.stop();
+        // The port is free again: a fresh bind succeeds.
+        let listener = TcpListener::bind(addr);
+        assert!(listener.is_ok(), "port still held after stop");
+    }
+}

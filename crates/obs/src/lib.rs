@@ -31,6 +31,17 @@
 //! * **Summaries** ([`summarize`]): post-hoc aggregation of event logs
 //!   ([`LogSummary`]) and manifest drift reports
 //!   ([`summarize::manifest_diff`]) — the `resq obs` subcommands.
+//! * **Trace contexts** ([`tracectx`]): a deterministic per-run
+//!   [`TraceCtx`] (run id derived from the command line) stamped onto
+//!   every event row by [`TracedSink`], plus a process-global
+//!   [`RunRegistry`] of live runs.
+//! * **Live exposition** ([`http`]): a dependency-free HTTP/1.1 server
+//!   (`resq obs serve`) publishing `/metrics`, `/metrics.json`,
+//!   `/healthz`, `/spans` and `/runs` from interference-free
+//!   [`metrics::Snapshot`] captures.
+//! * **Trace export** ([`chrometrace`]): converts an `events.jsonl`
+//!   log into Chrome `trace_event` JSON for `chrome://tracing` and
+//!   Perfetto (`resq obs export-trace`).
 //!
 //! The JSON emitted and parsed here is hand-rolled ([`json`]) in line
 //! with the workspace's offline-crates policy: no registry access is
@@ -53,15 +64,19 @@
 
 pub mod json;
 
+pub mod chrometrace;
 mod event;
+pub mod http;
 mod manifest;
 pub mod metrics;
 mod sink;
 pub mod span;
 pub mod summarize;
+pub mod tracectx;
 
 pub use event::{event_type, Event};
 pub use manifest::{git_rev, RunManifest};
 pub use sink::{JsonlSink, MemorySink, NullSink, RunSink};
 pub use span::{span_name, Span, SpanRegistry};
 pub use summarize::LogSummary;
+pub use tracectx::{RunInfo, RunRegistry, TraceCtx, TracedSink};

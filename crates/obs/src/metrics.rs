@@ -366,6 +366,20 @@ pub static LATTICE_FALLBACKS_TOTAL: Counter = Counter::new(
     "in-grid lattice queries re-answered exactly after failing the error check",
 );
 
+/// HTTP requests accepted by the live telemetry server
+/// (`resq_obs::http`), any method or path.
+pub static HTTP_REQUESTS_TOTAL: Counter = Counter::new(
+    "http_requests_total",
+    "HTTP requests accepted by the telemetry server",
+);
+
+/// HTTP requests the telemetry server answered with a 4xx/5xx status
+/// (or dropped on a read timeout before a request line arrived).
+pub static HTTP_ERRORS_TOTAL: Counter = Counter::new(
+    "http_errors_total",
+    "telemetry-server requests answered with an error status or timed out",
+);
+
 /// Distribution of trials processed per worker thread per run —
 /// lopsided buckets mean poor load balance.
 pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
@@ -389,6 +403,8 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &LATTICE_LOOKUP_HITS_TOTAL,
     &LATTICE_LOOKUP_MISSES_TOTAL,
     &LATTICE_FALLBACKS_TOTAL,
+    &HTTP_REQUESTS_TOTAL,
+    &HTTP_ERRORS_TOTAL,
 ];
 
 /// Every registered histogram, in display order.
@@ -644,26 +660,36 @@ fn prometheus_histogram(
 /// 2>metrics.prom`) and point the collector at the directory. Counter
 /// samples carry no timestamp, so the scrape time is used.
 pub fn format_prometheus() -> String {
+    format_prometheus_from(&Snapshot::capture(), &span::current().snapshot())
+}
+
+/// [`format_prometheus`] rendered from an already-captured [`Snapshot`]
+/// and span snapshot, so a reader (the HTTP `/metrics` endpoint) can
+/// take one consistent capture and format it without racing the
+/// workload it is observing.
+pub fn format_prometheus_from(snap: &Snapshot, spans: &[span::SpanStats]) -> String {
     let mut out = String::new();
     for c in ALL_COUNTERS {
         let name = format!("{PROMETHEUS_PREFIX}{}", c.name());
         out.push_str(&format!("# HELP {name} {}\n", prometheus_escape_help(c.help())));
         out.push_str(&format!("# TYPE {name} counter\n"));
-        out.push_str(&format!("{name} {}\n", c.get()));
+        out.push_str(&format!("{name} {}\n", snap.counter(c.name())));
     }
     for h in ALL_HISTOGRAMS {
+        let Some(hs) = snap.histogram(h.name()) else {
+            continue;
+        };
         let name = format!("{PROMETHEUS_PREFIX}{}", h.name());
         out.push_str(&format!("# HELP {name} {}\n", prometheus_escape_help(h.help())));
         out.push_str(&format!("# TYPE {name} histogram\n"));
-        prometheus_histogram(&mut out, &name, "", &h.buckets(), h.sum());
+        prometheus_histogram(&mut out, &name, "", &hs.buckets, hs.sum);
     }
-    let spans = span::current().snapshot();
     if !spans.is_empty() {
         out.push_str(&format!(
             "# HELP {SPAN_DURATION_METRIC} elapsed wall-clock nanoseconds per span closure\n"
         ));
         out.push_str(&format!("# TYPE {SPAN_DURATION_METRIC} histogram\n"));
-        for s in &spans {
+        for s in spans {
             let labels = format!("span=\"{}\"", prometheus_escape_label(&s.path));
             prometheus_histogram(&mut out, SPAN_DURATION_METRIC, &labels, &s.buckets, s.total_nanos);
         }
@@ -677,39 +703,49 @@ pub fn format_prometheus() -> String {
 /// object, no trailing newline; histogram buckets are
 /// `[lower_bound, count]` pairs for the non-empty buckets.
 pub fn format_json() -> String {
+    format_json_from(&Snapshot::capture(), &span::current().snapshot())
+}
+
+/// [`format_json`] rendered from an already-captured [`Snapshot`] and
+/// span snapshot (the HTTP `/metrics.json` endpoint's entry point).
+pub fn format_json_from(snap: &Snapshot, spans: &[span::SpanStats]) -> String {
     use crate::json::write_escaped;
     let mut out = String::from("{\"counters\":{");
-    for (i, c) in ALL_COUNTERS.iter().enumerate() {
+    for (i, &(name, value)) in snap.counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        write_escaped(&mut out, c.name());
-        out.push_str(&format!(":{}", c.get()));
+        write_escaped(&mut out, name);
+        out.push_str(&format!(":{value}"));
     }
     out.push_str("},\"histograms\":{");
-    for (i, h) in ALL_HISTOGRAMS.iter().enumerate() {
+    for (i, h) in snap.histograms.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        write_escaped(&mut out, h.name());
+        write_escaped(&mut out, h.name);
         out.push_str(&format!(
             ":{{\"count\":{},\"sum\":{},\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"buckets\":[",
             h.count(),
-            h.sum(),
+            h.sum,
             h.quantile(0.50),
             h.quantile(0.90),
             h.quantile(0.99),
         ));
-        for (j, (lower, n)) in h.nonzero_buckets().into_iter().enumerate() {
-            if j > 0 {
+        let mut first = true;
+        for (j, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
                 out.push(',');
             }
-            out.push_str(&format!("[{lower},{n}]"));
+            first = false;
+            out.push_str(&format!("[{},{n}]", bucket_lower_bound(j)));
         }
         out.push_str("]}");
     }
     out.push_str("},\"spans\":{");
-    let spans = span::current().snapshot();
     for (i, s) in spans.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -154,6 +154,12 @@ pub struct FaultyOutcome {
 impl FaultyOutcome {
     /// Renders the trial's retry telemetry as a `retry-outcome` event
     /// row for the structured run log.
+    ///
+    /// The `trial` field is the row's half of the trace context: a
+    /// [`resq_obs::TracedSink`] stamps the run half (`run_id`) onto the
+    /// emitted row, so `retry-outcome` rows join against `/runs`,
+    /// `/spans`, and every other row of the same run on
+    /// `(run_id, trial)` — see `resq_obs::tracectx`.
     pub fn retry_event(&self, trial: u64) -> resq_obs::Event {
         resq_obs::Event::new(resq_obs::event_type::RETRY_OUTCOME)
             .u64("trial", trial)

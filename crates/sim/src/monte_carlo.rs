@@ -10,7 +10,7 @@
 
 use crate::stats::{Summary, Welford};
 use resq_dist::Xoshiro256pp;
-use resq_obs::{event_type, metrics, span, span_name, Event, NullSink, RunSink, Span};
+use resq_obs::{event_type, metrics, span, span_name, tracectx, Event, NullSink, RunSink, Span};
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -164,6 +164,12 @@ where
     // worker thread executes them, keeping span structure (names and
     // counts) invariant under `threads`.
     let spans = span::current();
+    // Likewise capture the current run context (if the caller entered
+    // one via `tracectx::enter_run`) so worker threads can publish live
+    // progress to the run registry. Progress counts are telemetry only
+    // — they feed `/runs`, never the event log — so the order workers
+    // bump them in does not threaten log determinism.
+    let run = tracectx::current_run();
     let _run_span = span::enter(span_name::MC_RUN);
     let observing = sink.enabled();
     let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
@@ -185,6 +191,9 @@ where
                         .f64("value", value),
                 );
             }
+        }
+        if let Some(r) = &run {
+            r.add_progress(hi - lo);
         }
         (acc, events)
     };

@@ -458,6 +458,87 @@ fn fault_injected_span_structure_is_thread_count_invariant() {
 }
 
 #[test]
+fn concurrent_scraping_does_not_perturb_events_or_spans() {
+    // The live telemetry plane must be read-only: a scraper hammering
+    // `/metrics` while a run is in flight sees interference-free
+    // snapshots, and the run's event log and span structure must be
+    // byte-for-byte what they are with no server attached at all.
+    use resq::obs::http::{serve, ServerConfig};
+    use resq::obs::span::{self, SpanRegistry};
+    use resq::obs::MemorySink;
+    use resq::sim::run_trials_observed;
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let run = |scrape: bool| {
+        let server = scrape.then(|| {
+            let server = serve(ServerConfig::new("127.0.0.1:0")).expect("bind scrape server");
+            let addr = server.local_addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    // do-while: on a single-core host this thread may
+                    // first run after the workload already finished —
+                    // always complete at least one scrape.
+                    loop {
+                        if let Ok(mut conn) = std::net::TcpStream::connect(addr) {
+                            let _ = conn.write_all(
+                                b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                            );
+                            let mut body = String::new();
+                            let _ = conn.read_to_string(&mut body);
+                            if body.contains("200 OK") {
+                                scrapes += 1;
+                            }
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            return scrapes;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                })
+            };
+            (server, stop, handle)
+        });
+        let sink = MemorySink::new();
+        let registry = SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            run_trials_observed(
+                MonteCarloConfig {
+                    trials: 25_000,
+                    seed: 99,
+                    threads: 2,
+                },
+                &sink,
+                1_000,
+                |_, rng| s.run_once(&policy, rng).work_saved,
+            );
+        }
+        if let Some((server, stop, handle)) = server {
+            stop.store(true, Ordering::Relaxed);
+            let scrapes = handle.join().expect("scraper thread panicked");
+            assert!(scrapes > 0, "scraper never completed a request");
+            server.stop();
+        }
+        (sink.lines(), registry.structure())
+    };
+    let (quiet_log, quiet_spans) = run(false);
+    let (scraped_log, scraped_spans) = run(true);
+    assert!(!quiet_log.is_empty());
+    assert_eq!(quiet_log, scraped_log, "a live scraper changed the event log");
+    assert_eq!(
+        quiet_spans, scraped_spans,
+        "a live scraper changed the span structure"
+    );
+}
+
+#[test]
 fn analytic_planning_is_deterministic() {
     // No RNG involved: repeated planning gives identical bits.
     use resq::{DynamicStrategy, StaticStrategy};

@@ -144,9 +144,37 @@ fn usage_flags_are_documented_in_observability_doc() {
     // The shared observability switches must appear in both the USAGE
     // string and the doc that explains them.
     let doc = read("docs/OBSERVABILITY.md");
-    for flag in ["--log-json", "--metrics", "--metrics-format", "--progress"] {
+    for flag in [
+        "--log-json",
+        "--metrics",
+        "--metrics-format",
+        "--progress",
+        "--serve",
+    ] {
         assert!(USAGE.contains(flag), "USAGE lost {flag}");
         assert!(doc.contains(flag), "docs/OBSERVABILITY.md lost {flag}");
+    }
+}
+
+#[test]
+fn observability_doc_covers_every_http_endpoint() {
+    // The live-telemetry endpoint list is pinned in code
+    // (`resq::obs::http::ENDPOINTS`); the endpoint table in the guide
+    // must name each one.
+    let doc = read("docs/OBSERVABILITY.md");
+    for endpoint in resq::obs::http::ENDPOINTS {
+        assert!(
+            doc.contains(&format!("`{endpoint}`")),
+            "docs/OBSERVABILITY.md does not document endpoint `{endpoint}`"
+        );
+    }
+    // And the operations guide must show how to scrape a live run.
+    let ops = read("docs/OPERATIONS.md");
+    for needle in ["obs serve", "/metrics", "scrape_configs"] {
+        assert!(
+            ops.contains(needle),
+            "docs/OPERATIONS.md lost the live-scraping walkthrough (`{needle}`)"
+        );
     }
 }
 

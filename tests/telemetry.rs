@@ -1,0 +1,206 @@
+//! Live telemetry plane, end to end: the chrome-trace exporter must be
+//! byte-stable against its committed golden (the export is provenance —
+//! a re-render that moves a single byte is a schema change and must be
+//! a reviewed diff), and the HTTP exposition must serve every
+//! documented endpoint with well-formed payloads.
+
+use resq::obs::http::{serve, Server, ServerConfig, ENDPOINTS};
+use resq::obs::tracectx::{RunInfo, RunRegistry};
+use resq::obs::{chrometrace, json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn repo_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/resq; the fixtures live at the repo
+    // root's tests/data (same resolution as tests/docs_sync.rs).
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf()
+}
+
+fn fixture_text() -> String {
+    std::fs::read_to_string(repo_root().join("tests/data/telemetry_fixture.jsonl"))
+        .expect("telemetry fixture must be committed")
+}
+
+#[test]
+fn export_trace_is_byte_stable_against_golden() {
+    // Deterministic input → identical output, byte for byte: objects
+    // render in BTreeMap order and numbers keep their source text, so
+    // nothing in the exporter may depend on hash order, locale, or
+    // float re-formatting. Regenerate the golden (and review the diff)
+    // with: resq obs export-trace tests/data/telemetry_fixture.jsonl \
+    //         --out tests/data/chrometrace_golden.json
+    let golden = std::fs::read_to_string(repo_root().join("tests/data/chrometrace_golden.json"))
+        .expect("chrome-trace golden must be committed");
+    let export = chrometrace::export(&fixture_text()).expect("fixture must export");
+    assert_eq!(export.runs, 1);
+    assert_eq!(export.skipped, 0);
+    assert!(export.events > 0);
+    assert_eq!(
+        export.json, golden,
+        "chrome-trace export drifted from tests/data/chrometrace_golden.json — \
+         if the change is intentional, regenerate the golden and commit the diff"
+    );
+    // And twice over: the exporter holds no state between calls.
+    let again = chrometrace::export(&fixture_text()).expect("second export");
+    assert_eq!(export.json, again.json);
+}
+
+#[test]
+fn exported_trace_is_valid_chrome_trace_json() {
+    let export = chrometrace::export(&fixture_text()).expect("fixture must export");
+    let doc = json::parse(&export.json).expect("export must be valid JSON");
+    let Some(json::JsonValue::Array(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    // `events` counts converted rows; the array additionally carries
+    // `ph:"M"` metadata records (process/thread names).
+    let non_meta = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) != Some("M"))
+        .count();
+    assert_eq!(non_meta, export.events);
+    for e in events {
+        for key in ["name", "ph", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "trace event missing `{key}`");
+        }
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap();
+        if ph == "X" {
+            assert!(e.get("dur").is_some(), "complete event missing `dur`");
+        }
+        if ph != "M" {
+            assert!(e.get("ts").is_some(), "non-metadata event missing `ts`");
+        }
+        // Every non-metadata row must be joinable back to its run.
+        if ph != "M" {
+            let args = e.get("args").expect("event missing `args`");
+            assert!(
+                args.get("run_id").and_then(|v| v.as_str()).is_some(),
+                "event args missing `run_id`"
+            );
+        }
+    }
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+}
+
+#[test]
+fn export_rejects_empty_and_wholly_corrupt_input() {
+    assert!(chrometrace::export("").is_err());
+    assert!(chrometrace::export("\n\n").is_err());
+    assert!(chrometrace::export("not json\n{\"no\":\"type\"}\n").is_err());
+    // A torn tail line is skipped, not fatal, once real rows exist.
+    let mut torn = fixture_text();
+    torn.push_str("{\"type\":\"trial-sam");
+    let export = chrometrace::export(&torn).expect("torn tail must not be fatal");
+    assert_eq!(export.skipped, 1);
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("write request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+fn test_server() -> Server {
+    serve(ServerConfig::new("127.0.0.1:0")).expect("bind test server")
+}
+
+#[test]
+fn every_documented_endpoint_serves_a_well_formed_payload() {
+    let server = test_server();
+    let addr = server.local_addr();
+    for path in ENDPOINTS {
+        let response = get(addr, path);
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "`{path}` did not return 200: {}",
+            response.lines().next().unwrap_or("")
+        );
+        let body = body_of(&response);
+        match *path {
+            "/healthz" => assert_eq!(body, "ok\n"),
+            "/metrics" => {
+                assert!(body.contains("# HELP "), "/metrics missing HELP lines");
+                assert!(body.contains("# TYPE "), "/metrics missing TYPE lines");
+                assert!(
+                    body.contains("le=\"+Inf\""),
+                    "/metrics histograms missing +Inf bucket"
+                );
+            }
+            _ => {
+                json::parse(body)
+                    .unwrap_or_else(|e| panic!("`{path}` body is not valid JSON: {e}"));
+            }
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn runs_endpoint_reflects_registered_run_progress() {
+    // `/runs` is fed by the run registry; a registered run's progress
+    // and trace context must come back out, labeled with the same
+    // run_id the event log carries.
+    let registry = RunRegistry::new();
+    let info = RunInfo::new(0xabcd_1234_5678_9aa1, "simulate".to_string(), 7, 1000);
+    registry.register(info.clone());
+    info.add_progress(250);
+    let doc = json::parse(&resq::obs::http::render_runs_json(&registry)).expect("valid JSON");
+    let Some(json::JsonValue::Array(runs)) = doc.get("runs") else {
+        panic!("`runs` must be an array");
+    };
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    assert_eq!(
+        run.get("run_id").and_then(|v| v.as_str()),
+        Some("abcd123456789aa1")
+    );
+    assert_eq!(run.get("trials_done").and_then(|v| v.as_u64()), Some(250));
+    assert_eq!(run.get("trials").and_then(|v| v.as_u64()), Some(1000));
+    assert_eq!(run.get("state").and_then(|v| v.as_str()), Some("running"));
+    info.mark_finished();
+    let doc = json::parse(&resq::obs::http::render_runs_json(&registry)).expect("valid JSON");
+    let Some(json::JsonValue::Array(runs)) = doc.get("runs") else {
+        panic!("`runs` must be an array");
+    };
+    assert_eq!(
+        runs[0].get("state").and_then(|v| v.as_str()),
+        Some("finished")
+    );
+}
+
+#[test]
+fn server_survives_abusive_clients_and_stops_cleanly() {
+    let server = test_server();
+    let addr = server.local_addr();
+    // Bad method → 405 with Allow, and the accept loop keeps serving.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405 "), "got: {response}");
+    // Unknown path → 404.
+    assert!(get(addr, "/nope").starts_with("HTTP/1.1 404 "));
+    // Healthy again afterwards, then a clean stop.
+    assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+    server.stop();
+}
