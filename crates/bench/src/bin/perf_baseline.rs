@@ -20,7 +20,11 @@
 //! * the batched single-thread workload again with a live telemetry
 //!   server attached and a 10 Hz `GET /metrics` scraper running
 //!   (`serve_scrape`) — in full mode `--check` asserts scraping costs
-//!   under 5% against `mc_batched/threads_1`.
+//!   under 5% against `mc_batched/threads_1`;
+//! * the `resq serve` decision daemon end to end (`serve_decide`):
+//!   closed-loop framed load against an in-process daemon answering
+//!   from a prebuilt lattice — in full mode `--check` gates the median
+//!   round-trip at 50 µs on non-degraded hosts.
 //!
 //! Entries whose timing the host cannot honestly support are tagged
 //! `"degraded": true` — a thread-sweep entry asking for more workers
@@ -82,11 +86,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-/// `v5`: adds the per-entry `degraded` honesty tag and the
-/// `serve_scrape` live-telemetry-overhead entry to v4's layout (which
-/// added `solve/lattice_lookup` to v3's per-entry `threads` /
-/// provenance `available_parallelism` shape).
-const SCHEMA: &str = "resq-perf-baseline/v5";
+/// `v6`: adds the `serve_decide` decision-service entry (closed-loop
+/// framed load against an in-process daemon on the lattice path) to
+/// v5's layout (per-entry `degraded` honesty tag + `serve_scrape`;
+/// v4 added `solve/lattice_lookup`; v3 added per-entry `threads` and
+/// provenance `available_parallelism`).
+const SCHEMA: &str = "resq-perf-baseline/v6";
+
+/// Full-mode gate on the decision daemon's lattice-path median
+/// round-trip: `serve_decide` `p50_nanos` must stay at or under 50 µs
+/// on non-degraded hosts (single-core boxes time client + daemon on one
+/// CPU, are tagged degraded, and skip the gate).
+const SERVE_DECIDE_P50_LIMIT_NANOS: f64 = 50_000.0;
 
 /// Relative overhead vs `mc_batched/threads_1` at which `serve_scrape`
 /// fails the full-mode gate: a 10 Hz scraper reading interference-free
@@ -254,6 +265,70 @@ fn serve_scrape_entry(smoke: bool) -> Entry {
     entry
 }
 
+/// Times the decision daemon end to end: an in-process
+/// `DecisionService` over a prebuilt exponential lattice, served on the
+/// length-prefixed TCP fast path on a loopback ephemeral port, driven by
+/// [`resq_cli::serve::run_load`]'s closed loop — the exact
+/// client-to-answer round-trip `resq bench serve` measures. Quantiles
+/// are the load harness's exact per-request order statistics; on a
+/// single-core host client and daemon share one CPU, so the entry is
+/// tagged degraded and the p50 gate is skipped.
+fn serve_decide_entry(smoke: bool) -> Entry {
+    use resq_cli::serve::{self, DecisionService, LoadOptions, LoadProto};
+    let mut spec = LatticeSpec::defaults(LawFamily::Exponential);
+    if smoke {
+        spec = spec.with_points(5);
+    }
+    let lattice = resq::core::lattice::build(&spec).expect("serve_decide: lattice build");
+    let axes = lattice.axes();
+    let mut cache = SolveCache::new();
+    let query = (0..16)
+        .map(|k| {
+            let f = (k as f64 + 0.5) / 16.0;
+            let coords: Vec<f64> = axes.iter().map(|a| a.lo + f * (a.hi - a.lo)).collect();
+            lattice.query_for_coords(&coords, 29.0)
+        })
+        .find(|q| {
+            lattice
+                .query(q, &mut cache)
+                .map(|a| a.source == AnswerSource::Lattice)
+                .unwrap_or(false)
+        })
+        .expect("serve_decide: no served lattice query to drive");
+    let body = serve::render_request(&query, Some(10.0));
+    let connections = 2usize;
+    let service = Arc::new(DecisionService::new(vec![lattice], 4, 64));
+    let mut cfg = resq_obs::http::ServerConfig::new("127.0.0.1:0");
+    cfg.workers = 2;
+    cfg.queue_depth = 64;
+    let server = resq_obs::http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
+        .expect("serve_decide: bind daemon");
+    let report = serve::run_load(&LoadOptions {
+        addr: server.local_addr().to_string(),
+        proto: LoadProto::Framed,
+        connections,
+        requests: scaled(2000, smoke).max(50) as usize,
+        batch_size: 1,
+        body,
+    })
+    .expect("serve_decide: load run");
+    server.stop();
+    assert_eq!(report.errors, 0, "serve_decide: load saw error responses");
+    Entry {
+        name: "serve_decide".to_string(),
+        iters: report.decisions,
+        threads: connections,
+        // Client threads + daemon workers need more than one CPU for
+        // the round-trip numbers to mean anything.
+        degraded: host_parallelism() < 2,
+        total_nanos: report.elapsed.as_nanos() as u64,
+        nanos_per_iter: report.elapsed.as_nanos() as f64 / report.decisions as f64,
+        p50_nanos: report.p50_nanos,
+        p90_nanos: report.p90_nanos,
+        p99_nanos: report.p99_nanos,
+    }
+}
+
 fn collect(smoke: bool) -> Vec<Entry> {
     let n_threads = host_parallelism();
     let mut entries = Vec::new();
@@ -357,6 +432,8 @@ fn collect(smoke: bool) -> Vec<Entry> {
     ));
 
     entries.push(serve_scrape_entry(smoke));
+
+    entries.push(serve_decide_entry(smoke));
 
     entries
 }
@@ -553,6 +630,36 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
             }
         } else {
             return Err("full-mode report missing `serve_scrape`".to_string());
+        }
+        // Decision-daemon latency gate: the lattice path exists to
+        // answer in microseconds, and the daemon must not bury that
+        // under wire or locking overhead — median round-trip stays at
+        // or under SERVE_DECIDE_P50_LIMIT_NANOS. Degraded hosts
+        // (client + daemon sharing one core) skip the gate with a
+        // notice.
+        let p50 = entries
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("serve_decide"))
+            .and_then(|e| e.get("p50_nanos").and_then(|v| v.as_f64()));
+        if let Some(p50) = p50 {
+            if is_degraded(&entries, "serve_decide") {
+                println!(
+                    "  gate serve_decide skipped: entry tagged degraded \
+                     (client and daemon share one core)"
+                );
+            } else if p50 > SERVE_DECIDE_P50_LIMIT_NANOS {
+                return Err(format!(
+                    "serve_decide p50 at {p50:.0} ns is over the \
+                     {SERVE_DECIDE_P50_LIMIT_NANOS:.0} ns lattice-path latency gate"
+                ));
+            } else {
+                println!(
+                    "  gate serve_decide: p50 {p50:.0} ns \
+                     (limit {SERVE_DECIDE_P50_LIMIT_NANOS:.0}) ok"
+                );
+            }
+        } else {
+            return Err("full-mode report missing `serve_decide`".to_string());
         }
     }
     // Regression gate: every tracked solver entry in the fresh report

@@ -6,6 +6,7 @@
 //! README examples against the real flag set.
 
 pub mod args;
+pub mod serve;
 pub mod spec;
 
 /// Actions of the `resq obs` subcommand family, in the order they are
@@ -25,6 +26,14 @@ pub const LATTICE_FAMILIES: &[&str] = &["uniform", "exponential", "normal", "log
 /// Accepted values of `--metrics-format`, first entry is the default
 /// (also what bare `--metrics` selects).
 pub const METRICS_FORMATS: &[&str] = &["summary", "prometheus", "json"];
+
+/// Actions of the `resq bench` subcommand family. `tests/docs_sync.rs`
+/// checks the operations guide covers each one.
+pub const BENCH_ACTIONS: &[&str] = &["serve"];
+
+/// Accepted values of `resq bench serve --proto`, first entry is the
+/// default.
+pub const LOAD_PROTOS: &[&str] = &["framed", "http"];
 
 /// The `resq` usage text — the single source of truth for subcommands
 /// and flags. `tests/docs_sync.rs` checks every `resq` invocation in the
@@ -63,6 +72,31 @@ COMMANDS:
   learn             learn the checkpoint law from a JSONL trace (paper: \"learned
                     from traces of previous checkpoints\") and plan
       --trace <file.jsonl>  --reservation <R>
+  serve             long-running checkpoint-decision daemon: POST /decide and
+                    POST /decide/batch on one HTTP port next to every telemetry
+                    endpoint; lattice-first pipeline with exact-solver fallback;
+                    drains in-flight requests and exits 0 on SIGTERM/SIGINT
+      [--addr <host:port>=127.0.0.1:9779] HTTP listener (decisions + telemetry)
+      [--tcp-addr <host:port>]            also serve the length-prefixed TCP
+                                          fast path (u32-LE length + JSON)
+      [--lattice-dir <dir>]               per-family lattice artifacts
+                                          (default $RESQ_RESULTS_DIR, results/);
+                                          missing families answer exact-only
+      [--max-inflight <n>=64]             admission cap: concurrent decisions
+                                          past it are shed 429 + Retry-After
+      [--shards <n>=8]                    independent exact-solve cache shards
+      [--workers <n>=4]                   connection workers per listener
+  bench             built-in load harnesses
+      bench serve   closed-loop load against the decision daemon; without
+                    --addr an in-process daemon (small exponential lattice,
+                    ephemeral port) is stood up, hammered and torn down
+          [--connections <n>=8]           concurrent closed-loop connections
+          [--requests <n>=200]            requests per connection
+          [--batch-size <n>=1]            decisions per request (>1 uses the
+                                          batch endpoint)
+          [--proto <framed|http>=framed]  wire protocol to drive
+          [--addr <host:port>]            target an already-running daemon
+          [--min-throughput <dps>]        nonzero exit below this decisions/sec
   obs               inspect artifacts produced by the observability layer
       obs summarize <events.jsonl>            fold an event log into per-type
                                               counts and the run's headline facts

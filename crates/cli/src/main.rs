@@ -28,9 +28,14 @@ use resq::{
     LawFamily, PolicyLattice, PolicyQuery, Preemptible, SolveCache, StaticStrategy, TaskParams,
 };
 use resq_cli::args::{ArgError, Args};
+use resq_cli::serve::{self, DecisionService, LoadOptions, LoadProto};
 use resq_cli::spec::{parse_law, parse_retry, DynLaw, LawSpec};
-use resq_cli::{LATTICE_ACTIONS, LATTICE_FAMILIES, METRICS_FORMATS, OBS_ACTIONS, USAGE};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use resq_cli::{
+    BENCH_ACTIONS, LATTICE_ACTIONS, LATTICE_FAMILIES, LOAD_PROTOS, METRICS_FORMATS, OBS_ACTIONS,
+    USAGE,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -61,7 +66,10 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         None => None,
     };
     if !args.positionals.is_empty()
-        && !matches!(args.command.as_deref(), Some("obs") | Some("lattice"))
+        && !matches!(
+            args.command.as_deref(),
+            Some("obs") | Some("lattice") | Some("bench")
+        )
     {
         return Err(ArgError(format!(
             "unexpected positional argument `{}`",
@@ -89,6 +97,8 @@ fn run(tokens: Vec<String>) -> Result<(), ArgError> {
         Some("learn") => learn(&args),
         Some("obs") => obs_command(&args),
         Some("lattice") => lattice_command(&args),
+        Some("serve") => serve_command(&args),
+        Some("bench") => bench_command(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -176,32 +186,6 @@ fn obs_command(args: &Args) -> Result<(), ArgError> {
         _ => Err(usage()),
     }
 }
-
-/// Process-wide stop flag flipped by SIGTERM/SIGINT so `resq obs serve`
-/// can shut the accept loop down and exit 0 (the CI telemetry job
-/// asserts this clean-shutdown path).
-static SERVE_STOP: AtomicBool = AtomicBool::new(false);
-
-/// Installs SIGTERM/SIGINT handlers that set [`SERVE_STOP`]. Hand-rolled
-/// through libc's `signal(2)` (linked by std already) to stay within the
-/// workspace's no-new-dependencies policy; storing to an atomic is
-/// async-signal-safe.
-#[cfg(unix)]
-fn install_stop_signal_handlers() {
-    extern "C" fn on_signal(_sig: i32) {
-        SERVE_STOP.store(true, Ordering::Relaxed);
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    unsafe {
-        signal(15, on_signal as *const () as usize); // SIGTERM
-        signal(2, on_signal as *const () as usize); // SIGINT
-    }
-}
-
-#[cfg(not(unix))]
-fn install_stop_signal_handlers() {}
 
 /// Incremental reader for `resq obs serve <events.jsonl>`: re-reads the
 /// file from the last seen offset, applies complete lines to the global
@@ -322,7 +306,9 @@ fn obs_serve(args: &Args) -> Result<(), ArgError> {
             )));
         }
     }
-    install_stop_signal_handlers();
+    // Signal handling is the shared `resq_obs::http` implementation —
+    // one signal(2) binding for `obs serve`, `resq serve` and `--serve`.
+    http::install_stop_signal_handlers();
     let server = http::serve(http::ServerConfig::new(addr))
         .map_err(|e| ArgError(format!("cannot serve on `{addr}`: {e}")))?;
     eprintln!(
@@ -334,7 +320,7 @@ fn obs_serve(args: &Args) -> Result<(), ArgError> {
         eprintln!("tailing           : {}", p.display());
         LogTailer::new(p)
     });
-    while !SERVE_STOP.load(Ordering::Relaxed) {
+    while !http::stop_requested() {
         if let Some(t) = tailer.as_mut() {
             t.poll();
         }
@@ -342,6 +328,194 @@ fn obs_serve(args: &Args) -> Result<(), ArgError> {
     }
     server.stop();
     eprintln!("stopped cleanly   : signal received, accept loop joined");
+    Ok(())
+}
+
+/// `resq serve`: the long-running checkpoint-decision daemon. Answers
+/// `POST /decide` and `POST /decide/batch` (plus every telemetry
+/// endpoint) on `--addr`, optionally the length-prefixed TCP fast path
+/// on `--tcp-addr`, through a [`DecisionService`] that tries the
+/// per-family policy lattices first and falls back to sharded exact
+/// solves. Runs until SIGTERM/SIGINT, then drains in-flight requests,
+/// joins every server thread and exits 0.
+fn serve_command(args: &Args) -> Result<(), ArgError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9779");
+    let workers = args.u64_or("workers", 4)?.max(1) as usize;
+    let shards = args.u64_or("shards", 8)?.max(1) as usize;
+    let max_inflight = args.u64_or("max-inflight", 64)?.max(1) as usize;
+    let lattice_dir = args
+        .get("lattice-dir")
+        .map(String::from)
+        .unwrap_or_else(|| std::env::var("RESQ_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+    let (lattices, notes) = serve::load_lattices(std::path::Path::new(&lattice_dir));
+    for note in notes {
+        eprintln!("lattice           : {note}");
+    }
+    let service = Arc::new(DecisionService::new(lattices, shards, max_inflight));
+    http::install_stop_signal_handlers();
+    let mut cfg = http::ServerConfig::new(addr);
+    cfg.workers = workers;
+    cfg.queue_depth = 64;
+    let server = http::serve_with(cfg, serve::http_handler(Arc::clone(&service)))
+        .map_err(|e| ArgError(format!("cannot serve on `{addr}`: {e}")))?;
+    eprintln!(
+        "serving           : http://{} (POST {} + {})",
+        server.local_addr(),
+        serve::DECIDE_ENDPOINTS.join(" "),
+        http::ENDPOINTS.join(" ")
+    );
+    let framed = match args.get("tcp-addr") {
+        Some(tcp_addr) => {
+            let mut cfg = http::ServerConfig::new(tcp_addr);
+            cfg.workers = workers;
+            cfg.queue_depth = 64;
+            let s = http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
+                .map_err(|e| ArgError(format!("cannot serve on `{tcp_addr}`: {e}")))?;
+            eprintln!(
+                "fast path         : tcp://{} (u32-LE length-prefixed JSON)",
+                s.local_addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+    while !http::stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Graceful drain: stop() answers the requests in flight before the
+    // workers join (the CI serve job asserts the zero line below).
+    server.stop();
+    if let Some(s) = framed {
+        s.stop();
+    }
+    eprintln!("stopped cleanly   : signal received, servers drained");
+    eprintln!("in-flight at exit : {}", service.inflight());
+    Ok(())
+}
+
+/// The `resq bench` subcommand family (see [`BENCH_ACTIONS`]).
+fn bench_command(args: &Args) -> Result<(), ArgError> {
+    match args.positionals.first().map(String::as_str) {
+        Some("serve") => bench_serve(args),
+        _ => Err(ArgError(format!(
+            "usage: resq bench <{}> [--flags]",
+            BENCH_ACTIONS.join("|")
+        ))),
+    }
+}
+
+/// `resq bench serve`: closed-loop load harness for the decision
+/// daemon. Without `--addr`, builds a small exponential lattice, stands
+/// the daemon up in-process on an ephemeral loopback port, hammers it
+/// and tears it down; with `--addr`, targets an already-running daemon
+/// (the CI smoke load). `--min-throughput` turns the report into a gate.
+fn bench_serve(args: &Args) -> Result<(), ArgError> {
+    let connections = args.u64_or("connections", 8)?.max(1) as usize;
+    let requests = args.u64_or("requests", 200)?.max(1) as usize;
+    let batch_size = args.u64_or("batch-size", 1)?.max(1) as usize;
+    let proto = match args.get("proto") {
+        None => LoadProto::Framed,
+        Some("framed") => LoadProto::Framed,
+        Some("http") => LoadProto::Http,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "flag `--proto` expects one of {}, got `{other}`",
+                LOAD_PROTOS.join("|")
+            )))
+        }
+    };
+    let min_throughput = match args.get("min-throughput") {
+        Some(_) => Some(args.require_f64("min-throughput")?),
+        None => None,
+    };
+    // The workload: an in-grid exponential-family query so the load
+    // exercises the O(µs) lattice path (the fallback path is tracked by
+    // perf_baseline's `solve/dynamic`).
+    let spec = LatticeSpec::defaults(LawFamily::Exponential).with_points(5);
+    let lattice = resq::core::lattice::build(&spec)
+        .map_err(|e| ArgError(format!("cannot build the bench lattice: {e}")))?;
+    let axes = lattice.axes();
+    let mut cache = SolveCache::new();
+    let query = (0..16)
+        .map(|k| {
+            let f = (k as f64 + 0.5) / 16.0;
+            let coords: Vec<f64> = axes.iter().map(|a| a.lo + f * (a.hi - a.lo)).collect();
+            lattice.query_for_coords(&coords, 29.0)
+        })
+        .find(|q| {
+            lattice
+                .query(q, &mut cache)
+                .map(|a| a.source == AnswerSource::Lattice)
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| ArgError("no served lattice query to drive the load with".into()))?;
+    let body = serve::render_request(&query, Some(10.0));
+    let before = resq::obs::metrics::Snapshot::capture();
+    let report = match args.get("addr") {
+        Some(addr) => serve::run_load(&LoadOptions {
+            addr: addr.to_string(),
+            proto,
+            connections,
+            requests,
+            batch_size,
+            body,
+        })
+        .map_err(ArgError)?,
+        None => {
+            let service = Arc::new(DecisionService::new(
+                vec![lattice],
+                8,
+                (connections * 2).max(64),
+            ));
+            let mut cfg = http::ServerConfig::new("127.0.0.1:0");
+            cfg.workers = 4;
+            cfg.queue_depth = 64;
+            let server = match proto {
+                LoadProto::Http => http::serve_with(cfg, serve::http_handler(Arc::clone(&service))),
+                LoadProto::Framed => {
+                    http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
+                }
+            }
+            .map_err(|e| ArgError(format!("cannot bind the in-process daemon: {e}")))?;
+            let result = serve::run_load(&LoadOptions {
+                addr: server.local_addr().to_string(),
+                proto,
+                connections,
+                requests,
+                batch_size,
+                body,
+            });
+            server.stop();
+            result.map_err(ArgError)?
+        }
+    };
+    let delta = resq::obs::metrics::Snapshot::capture().delta(&before);
+    println!("connections       : {}", report.connections);
+    println!("requests ok       : {}", report.requests);
+    println!("decisions         : {}", report.decisions);
+    println!("errors            : {}", report.errors);
+    println!("elapsed           : {:.3} s", report.elapsed.as_secs_f64());
+    println!("throughput        : {:.0} decisions/s", report.throughput());
+    println!(
+        "latency           : p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs",
+        report.p50_nanos / 1e3,
+        report.p90_nanos / 1e3,
+        report.p99_nanos / 1e3
+    );
+    println!(
+        "pipeline          : {} lattice hits, {} exact fallbacks, {} shed",
+        delta.counter("decide_lattice_hits_total"),
+        delta.counter("decide_fallbacks_total"),
+        delta.counter("decide_rejected_total")
+    );
+    if let Some(min) = min_throughput {
+        if report.throughput() < min {
+            return Err(ArgError(format!(
+                "throughput {:.0} decisions/s is below the --min-throughput gate {min:.0}",
+                report.throughput()
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -389,41 +563,12 @@ fn lattice_artifact_path(
     Ok(std::path::PathBuf::from(dir).join(family.artifact_file_name()))
 }
 
-/// Parses `--task` into lattice shape parameters. Same law syntax as the
-/// planner commands for the four gridded families; truncation suffixes
-/// are rejected (the grid's task laws are the plain families).
+/// Parses `--task` into lattice shape parameters — the shared
+/// [`serve::task_params`] implementation (same parser the decision
+/// daemon runs on its `"task"` wire field), with the flag named in the
+/// error.
 fn lattice_task_params(raw: &str) -> Result<TaskParams, ArgError> {
-    let err = || {
-        ArgError(format!(
-            "`--task {raw}`: lattice queries take uniform:a,b | exponential:lambda | \
-             normal:mu,sigma | lognormal:mu,sigma (no truncation suffix)"
-        ))
-    };
-    if raw.contains('@') {
-        return Err(err());
-    }
-    let (name, params) = raw.split_once(':').ok_or_else(err)?;
-    let nums: Vec<f64> = params
-        .split(',')
-        .map(|p| p.trim().parse::<f64>())
-        .collect::<Result<_, _>>()
-        .map_err(|_| err())?;
-    match (name, nums.as_slice()) {
-        ("uniform", [a, b]) => Ok(TaskParams::Uniform { lo: *a, hi: *b }),
-        ("exponential" | "exp", [lambda]) => Ok(TaskParams::Exponential { mean: 1.0 / lambda }),
-        ("normal", [mu, sigma]) => Ok(TaskParams::Normal {
-            mean: *mu,
-            sigma: *sigma,
-        }),
-        // Same log-space (mu, sigma) convention as the LAW SYNTAX;
-        // converted to the (mean, sd) axes the lattice normalizes.
-        ("lognormal", [mu, sigma]) => {
-            let mean = (mu + sigma * sigma / 2.0).exp();
-            let sd = mean * ((sigma * sigma).exp() - 1.0).sqrt();
-            Ok(TaskParams::LogNormal { mean, sd })
-        }
-        _ => Err(err()),
-    }
+    serve::task_params(raw).map_err(|e| ArgError(format!("`--task` {}", e.0)))
 }
 
 fn lattice_build(args: &Args) -> Result<(), ArgError> {
@@ -1827,15 +1972,71 @@ mod tests {
         }
     }
 
+    /// Serializes tests that drive serve loops through the process-wide
+    /// stop flag, so one test clearing the flag cannot strand another
+    /// test's loop.
+    static STOP_FLAG_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn obs_serve_exits_cleanly_once_stopped() {
+        let _guard = STOP_FLAG_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         // The stop flag doubles as the test hook for the signal path:
         // pre-setting it makes the serve loop exit on its first check.
-        SERVE_STOP.store(true, Ordering::Relaxed);
+        http::request_stop();
         assert!(run_tokens(&["obs", "serve", "--addr", "127.0.0.1:0"]).is_ok());
-        SERVE_STOP.store(false, Ordering::Relaxed);
+        http::clear_stop_request();
         // A missing events file is a clean startup error.
         assert!(run_tokens(&["obs", "serve", "/nonexistent.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn serve_daemon_exits_cleanly_once_stopped() {
+        let _guard = STOP_FLAG_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        http::request_stop();
+        // No lattice artifacts in the temp dir: every family reports
+        // exact-only and the daemon still starts and drains.
+        let dir = std::env::temp_dir().join("resq-serve-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(run_tokens(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--tcp-addr",
+            "127.0.0.1:0",
+            "--lattice-dir",
+            dir.to_str().unwrap(),
+        ])
+        .is_ok());
+        http::clear_stop_request();
+        // A bad address is a clean startup error, not a hang.
+        assert!(run_tokens(&["serve", "--addr", "definitely-not-an-addr"]).is_err());
+    }
+
+    #[test]
+    fn bench_serve_runs_an_in_process_load() {
+        // Tiny closed loop against the in-process daemon; also checks
+        // the --min-throughput gate fires when set impossibly high.
+        assert!(run_tokens(&[
+            "bench",
+            "serve",
+            "--connections",
+            "2",
+            "--requests",
+            "10",
+        ])
+        .is_ok());
+        let gated = run_tokens(&[
+            "bench",
+            "serve",
+            "--connections",
+            "1",
+            "--requests",
+            "2",
+            "--min-throughput",
+            "1e15",
+        ]);
+        assert!(gated.is_err(), "impossible throughput gate must fail");
+        assert!(run_tokens(&["bench", "nope"]).is_err());
     }
 
     #[test]

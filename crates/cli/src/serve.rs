@@ -1,0 +1,894 @@
+//! The `resq serve` decision service: a long-running daemon answering
+//! "checkpoint now?" queries over HTTP (`POST /decide`,
+//! `POST /decide/batch`) and a length-prefixed TCP fast path, built on
+//! `resq_obs::http`'s dependency-free server core.
+//!
+//! The decision pipeline per request:
+//!
+//! 1. parse the wire JSON into a [`PolicyQuery`] (law specs use the same
+//!    syntax as `resq lattice query --task`, via [`task_params`]);
+//! 2. try the precomputed [`PolicyLattice`] for the query's law family —
+//!    the O(µs) interpolation path with its built-in a-posteriori
+//!    error discipline (`docs/LATTICES.md`);
+//! 3. fall back to the exact solvers through a shared [`SolveCache`]
+//!    behind sharded locks (round-robin shard pick, so concurrent
+//!    fallbacks don't serialize on one cache).
+//!
+//! Every answer is deterministic in the query: the lattice interpolation
+//! is pure, the exact solvers are deterministic, and the solve cache
+//! stores exact results — so concurrent clients observe byte-identical
+//! response bodies for identical queries (`tests/serve.rs` hammers this
+//! invariant from many threads).
+//!
+//! Admission control is a bounded in-flight counter: past
+//! `max_inflight` the service answers `429` + `Retry-After` (a typed
+//! `saturated` error on the framed path) and counts the shed in
+//! `decide_rejected_total`; the accept-queue itself sheds with `503`
+//! (see `resq_obs::http`). Counters `decide_requests_total`,
+//! `decide_lattice_hits_total`, `decide_fallbacks_total` and the
+//! `decide_queue_depth` gauge expose the pipeline on `/metrics`; each
+//! decision runs under a `serve/decide` span.
+//!
+//! Wire errors are *typed*, never panics: any byte sequence fed into
+//! the parsers produces either an answer or an
+//! `{"error":{"kind":…,"message":…}}` body
+//! (`crates/cli/tests/serve_proptests.rs` fuzzes this discipline).
+//!
+//! [`run_load`] is the closed-loop load harness behind
+//! `resq bench serve` and the `serve_decide` perf-baseline entry.
+
+use crate::args::ArgError;
+use resq::core::lattice::{solve_exact, CKPT_SIGMA_RATIO};
+use resq::obs::http::{self, FrameHandler, Handler, Request, Response};
+use resq::obs::json::{self, write_escaped, write_f64, JsonValue};
+use resq::obs::metrics::{
+    DECIDE_FALLBACKS_TOTAL, DECIDE_LATTICE_HITS_TOTAL, DECIDE_QUEUE_DEPTH, DECIDE_REJECTED_TOTAL,
+    DECIDE_REQUESTS_TOTAL,
+};
+use resq::obs::span::{self, span_name};
+use resq::{AnswerSource, LawFamily, PolicyAnswer, PolicyLattice, PolicyQuery, SolveCache, TaskParams};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The decision endpoints mounted next to `resq_obs::http::ENDPOINTS`
+/// on the daemon's HTTP port; `tests/docs_sync.rs` pins this list
+/// against `docs/OBSERVABILITY.md`.
+pub const DECIDE_ENDPOINTS: &[&str] = &["/decide", "/decide/batch"];
+
+/// Largest accepted `/decide/batch` array.
+pub const MAX_BATCH: usize = 256;
+
+/// A typed wire-layer error: every malformed or rejected request maps
+/// to one of these (never a panic), rendered as
+/// `{"error":{"kind":…,"message":…}}`.
+#[derive(Debug, Clone)]
+pub struct DecideError {
+    /// Stable machine-readable kind: `parse`, `spec`, `domain`,
+    /// `batch`, `method` or `saturated`.
+    pub kind: &'static str,
+    /// The HTTP status the error maps to.
+    pub status: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl DecideError {
+    fn parse(message: impl Into<String>) -> Self {
+        Self {
+            kind: "parse",
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn spec(message: impl Into<String>) -> Self {
+        Self {
+            kind: "spec",
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn domain(message: impl Into<String>) -> Self {
+        Self {
+            kind: "domain",
+            status: 422,
+            message: message.into(),
+        }
+    }
+
+    fn saturated(max_inflight: usize) -> Self {
+        Self {
+            kind: "saturated",
+            status: 429,
+            message: format!("decision service at max in-flight ({max_inflight}); retry after 1s"),
+        }
+    }
+
+    /// Renders the typed error body (stable field order, no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"error\":{\"kind\":\"");
+        out.push_str(self.kind);
+        out.push_str("\",\"message\":");
+        write_escaped(&mut out, &self.message);
+        out.push_str("}}");
+        out
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            400 => "Bad Request",
+            413 => "Content Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            _ => "Service Unavailable",
+        }
+    }
+
+    /// The error as an HTTP response (`Retry-After` on `429`).
+    pub fn into_response(self) -> Response {
+        let resp = Response::error_with_body(
+            self.status,
+            self.reason(),
+            "application/json",
+            self.render(),
+        );
+        if self.status == 429 {
+            resp.with_header("Retry-After: 1")
+        } else {
+            resp
+        }
+    }
+}
+
+/// Parses a task-law spec into lattice shape parameters — the shared
+/// implementation behind `resq lattice query --task` and the daemon's
+/// `"task"` field. Same law syntax as the planner commands for the four
+/// gridded families; truncation suffixes are rejected (the grid's task
+/// laws are the plain families).
+pub fn task_params(raw: &str) -> Result<TaskParams, ArgError> {
+    let err = || {
+        ArgError(format!(
+            "task law `{raw}`: decision queries take uniform:a,b | exponential:lambda | \
+             normal:mu,sigma | lognormal:mu,sigma (no truncation suffix)"
+        ))
+    };
+    if raw.contains('@') {
+        return Err(err());
+    }
+    let (name, params) = raw.split_once(':').ok_or_else(err)?;
+    let nums: Vec<f64> = params
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| err())?;
+    match (name, nums.as_slice()) {
+        ("uniform", [a, b]) => Ok(TaskParams::Uniform { lo: *a, hi: *b }),
+        ("exponential" | "exp", [lambda]) => Ok(TaskParams::Exponential { mean: 1.0 / lambda }),
+        ("normal", [mu, sigma]) => Ok(TaskParams::Normal {
+            mean: *mu,
+            sigma: *sigma,
+        }),
+        // Same log-space (mu, sigma) convention as the LAW SYNTAX;
+        // converted to the (mean, sd) axes the lattice normalizes.
+        ("lognormal", [mu, sigma]) => {
+            let mean = (mu + sigma * sigma / 2.0).exp();
+            let sd = mean * ((sigma * sigma).exp() - 1.0).sqrt();
+            Ok(TaskParams::LogNormal { mean, sd })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// The inverse of [`task_params`]: a spec string that parses back to the
+/// same [`TaskParams`] (`f64` `Display` round-trips exactly).
+pub fn task_spec(p: &TaskParams) -> String {
+    match p {
+        TaskParams::Uniform { lo, hi } => format!("uniform:{lo},{hi}"),
+        TaskParams::Exponential { mean } => format!("exponential:{}", 1.0 / mean),
+        TaskParams::Normal { mean, sigma } => format!("normal:{mean},{sigma}"),
+        TaskParams::LogNormal { mean, sd } => {
+            // Back to log-space (mu, sigma), inverting `task_params`.
+            let sigma2 = (1.0 + (sd / mean).powi(2)).ln();
+            let mu = mean.ln() - sigma2 / 2.0;
+            format!("lognormal:{mu},{}", sigma2.sqrt())
+        }
+    }
+}
+
+/// Renders one `/decide` request body for a query (the wire format the
+/// daemon parses) — used by the load harness and tests.
+pub fn render_request(q: &PolicyQuery, work: Option<f64>) -> String {
+    let mut out = String::from("{\"task\":\"");
+    out.push_str(&task_spec(&q.task));
+    out.push_str("\",\"ckpt_mean\":");
+    write_f64(&mut out, q.ckpt_mean);
+    out.push_str(",\"ckpt_sigma\":");
+    write_f64(&mut out, q.ckpt_sigma);
+    out.push_str(",\"reservation\":");
+    write_f64(&mut out, q.r);
+    if let Some(w) = work {
+        out.push_str(",\"work\":");
+        write_f64(&mut out, w);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders one decision answer (stable field order, `write_f64`
+/// formatting — byte-identical for identical answers, which is what the
+/// concurrency test pins). `checkpoint_now` appears only when the
+/// request carried a `"work"` level.
+pub fn render_answer(ans: &PolicyAnswer, work: Option<f64>) -> String {
+    let mut out = String::from("{\"source\":\"");
+    out.push_str(match ans.source {
+        AnswerSource::Lattice => "lattice",
+        AnswerSource::Exact => "exact",
+    });
+    out.push_str("\",\"x_opt\":");
+    write_f64(&mut out, ans.x_opt);
+    out.push_str(",\"n_opt\":");
+    out.push_str(&ans.n_opt.to_string());
+    out.push_str(",\"expected_work\":");
+    write_f64(&mut out, ans.expected_work);
+    out.push_str(",\"w_int\":");
+    match ans.w_int {
+        Some(w) => write_f64(&mut out, w),
+        None => out.push_str("null"),
+    }
+    if let Some(w) = work {
+        out.push_str(",\"checkpoint_now\":");
+        out.push_str(if ans.should_checkpoint(w) { "true" } else { "false" });
+    }
+    out.push('}');
+    out
+}
+
+/// The daemon's shared state: per-family policy lattices (lattice-first
+/// pipeline) and sharded exact-solve caches (fallback), plus the
+/// admission counter.
+pub struct DecisionService {
+    /// Indexed by position in [`LawFamily::ALL`].
+    lattices: Vec<Option<Arc<PolicyLattice>>>,
+    shards: Vec<Mutex<SolveCache>>,
+    next_shard: AtomicUsize,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    max_batch: usize,
+}
+
+impl DecisionService {
+    /// Builds a service over the given lattices (families without one
+    /// fall back to exact solves), `shards` independent solve caches and
+    /// an admission cap of `max_inflight` concurrent requests.
+    pub fn new(lattices: Vec<PolicyLattice>, shards: usize, max_inflight: usize) -> Self {
+        let mut slots: Vec<Option<Arc<PolicyLattice>>> = LawFamily::ALL.iter().map(|_| None).collect();
+        for lat in lattices {
+            let idx = LawFamily::ALL
+                .iter()
+                .position(|f| *f == lat.family())
+                .expect("every lattice family is in LawFamily::ALL");
+            slots[idx] = Some(Arc::new(lat));
+        }
+        Self {
+            lattices: slots,
+            shards: (0..shards.max(1)).map(|_| Mutex::new(SolveCache::new())).collect(),
+            next_shard: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            max_inflight: max_inflight.max(1),
+            max_batch: MAX_BATCH,
+        }
+    }
+
+    /// The loaded lattice for a family, if any.
+    pub fn lattice(&self, family: LawFamily) -> Option<&Arc<PolicyLattice>> {
+        let idx = LawFamily::ALL.iter().position(|f| *f == family)?;
+        self.lattices[idx].as_ref()
+    }
+
+    /// Requests currently admitted and not yet answered.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Admits one request or sheds it (`decide_rejected_total`); every
+    /// `true` must be paired with a [`DecisionService::release`].
+    pub fn admit(&self) -> bool {
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            DECIDE_REJECTED_TOTAL.inc();
+            return false;
+        }
+        DECIDE_QUEUE_DEPTH.add(1);
+        true
+    }
+
+    /// Releases an admitted request.
+    pub fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        DECIDE_QUEUE_DEPTH.sub(1);
+    }
+
+    /// `σ_C` default when the request omits `ckpt_sigma`: the family
+    /// lattice's gridded ratio (so defaults hit the grid), else the
+    /// build-time default ratio.
+    fn sigma_ratio(&self, family: LawFamily) -> f64 {
+        self.lattice(family)
+            .map(|l| l.ckpt_sigma_ratio())
+            .unwrap_or(CKPT_SIGMA_RATIO)
+    }
+
+    /// Parses one wire request object into a query plus the optional
+    /// work level.
+    fn parse_one(&self, v: &JsonValue) -> Result<(PolicyQuery, Option<f64>), DecideError> {
+        if v.entries().is_none() {
+            return Err(DecideError::parse("request must be a JSON object"));
+        }
+        let task_raw = v
+            .get("task")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| DecideError::parse("missing string field `task`"))?;
+        let task = task_params(task_raw).map_err(|e| DecideError::spec(e.0))?;
+        let num = |name: &str| -> Result<f64, DecideError> {
+            v.get(name)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| DecideError::parse(format!("missing numeric field `{name}`")))
+        };
+        let ckpt_mean = num("ckpt_mean")?;
+        let r = num("reservation")?;
+        let ckpt_sigma = match v.get("ckpt_sigma") {
+            None => self.sigma_ratio(task.family()) * ckpt_mean,
+            Some(_) => num("ckpt_sigma")?,
+        };
+        let work = match v.get("work") {
+            None => None,
+            Some(_) => Some(num("work")?),
+        };
+        let q = PolicyQuery {
+            task,
+            ckpt_mean,
+            ckpt_sigma,
+            r,
+        };
+        q.validate().map_err(|e| DecideError::domain(e.to_string()))?;
+        Ok((q, work))
+    }
+
+    /// One decision through the pipeline: lattice first, sharded exact
+    /// fallback; counted and spanned.
+    pub fn decide(&self, q: &PolicyQuery) -> Result<PolicyAnswer, DecideError> {
+        let _span = span::enter(span_name::SERVE_DECIDE);
+        DECIDE_REQUESTS_TOTAL.inc();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut cache = self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let answer = match self.lattice(q.task.family()) {
+            Some(lattice) => lattice.query(q, &mut cache),
+            None => solve_exact(q, &mut cache),
+        }
+        .map_err(|e| DecideError::domain(e.to_string()))?;
+        drop(cache);
+        match answer.source {
+            AnswerSource::Lattice => DECIDE_LATTICE_HITS_TOTAL.inc(),
+            AnswerSource::Exact => DECIDE_FALLBACKS_TOTAL.inc(),
+        }
+        Ok(answer)
+    }
+
+    /// Answers one `/decide` body: parse, decide, render.
+    pub fn answer_single(&self, text: &str) -> Result<String, DecideError> {
+        let v = json::parse(text).map_err(|e| DecideError::parse(e.to_string()))?;
+        let (q, work) = self.parse_one(&v)?;
+        let ans = self.decide(&q)?;
+        Ok(render_answer(&ans, work))
+    }
+
+    /// Answers one `/decide/batch` body: a JSON array of request
+    /// objects, answered item-by-item with inline typed errors (one bad
+    /// item does not fail its neighbors).
+    pub fn answer_batch(&self, text: &str) -> Result<String, DecideError> {
+        let v = json::parse(text).map_err(|e| DecideError::parse(e.to_string()))?;
+        let JsonValue::Array(items) = v else {
+            return Err(DecideError::parse("batch body must be a JSON array"));
+        };
+        if items.len() > self.max_batch {
+            return Err(DecideError {
+                kind: "batch",
+                status: 413,
+                message: format!(
+                    "batch of {} exceeds the {} item cap; split the request",
+                    items.len(),
+                    self.max_batch
+                ),
+            });
+        }
+        let mut out = String::from("[");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match self
+                .parse_one(item)
+                .and_then(|(q, work)| self.decide(&q).map(|a| (a, work)))
+            {
+                Ok((ans, work)) => out.push_str(&render_answer(&ans, work)),
+                Err(e) => out.push_str(&e.render()),
+            }
+        }
+        out.push(']');
+        Ok(out)
+    }
+
+    /// Answers one framed payload: a leading `[` (after ASCII
+    /// whitespace) selects batch semantics. Always returns a JSON body —
+    /// answers or a typed error.
+    pub fn answer_frame(&self, payload: &[u8]) -> String {
+        if !self.admit() {
+            return DecideError::saturated(self.max_inflight).render();
+        }
+        let result = match std::str::from_utf8(payload) {
+            Err(_) => Err(DecideError::parse("frame payload is not valid UTF-8")),
+            Ok(text) => {
+                if text.trim_start().starts_with('[') {
+                    self.answer_batch(text)
+                } else {
+                    self.answer_single(text)
+                }
+            }
+        };
+        self.release();
+        result.unwrap_or_else(|e| e.render())
+    }
+}
+
+/// The daemon's HTTP handler: `POST /decide` and `POST /decide/batch`
+/// through `service`, every other path delegated to the telemetry plane
+/// ([`http::telemetry_response`]) so one port serves decisions *and*
+/// `/metrics`, `/healthz`, `/runs`, `/spans`.
+pub fn http_handler(service: Arc<DecisionService>) -> Handler {
+    Arc::new(move |req: &Request| {
+        let batch = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/decide") => false,
+            ("POST", "/decide/batch") => true,
+            (_, "/decide") | (_, "/decide/batch") => {
+                return Response::error_with_body(
+                    405,
+                    "Method Not Allowed",
+                    "application/json",
+                    DecideError {
+                        kind: "method",
+                        status: 405,
+                        message: "the decision endpoints are POST-only".to_string(),
+                    }
+                    .render(),
+                )
+                .with_header("Allow: POST");
+            }
+            _ => return http::telemetry_response(req),
+        };
+        if !service.admit() {
+            return DecideError::saturated(service.max_inflight).into_response();
+        }
+        let text = String::from_utf8_lossy(&req.body).into_owned();
+        let result = if batch {
+            service.answer_batch(&text)
+        } else {
+            service.answer_single(&text)
+        };
+        service.release();
+        match result {
+            Ok(body) => Response::ok("application/json", body),
+            Err(e) => e.into_response(),
+        }
+    })
+}
+
+/// The daemon's frame handler for [`http::serve_framed`].
+pub fn frame_handler(service: Arc<DecisionService>) -> FrameHandler {
+    Arc::new(move |payload: &[u8]| service.answer_frame(payload).into_bytes())
+}
+
+/// Loads every available per-family lattice artifact
+/// (`lattice_<family>.json`) from `dir`. Returns the loaded lattices
+/// and one human-readable note per family (loaded / absent / rejected).
+pub fn load_lattices(dir: &Path) -> (Vec<PolicyLattice>, Vec<String>) {
+    let mut lattices = Vec::new();
+    let mut notes = Vec::new();
+    for family in LawFamily::ALL {
+        let path = dir.join(family.artifact_file_name());
+        if !path.is_file() {
+            notes.push(format!(
+                "{:<12} exact-only ({} not found)",
+                family.name(),
+                path.display()
+            ));
+            continue;
+        }
+        match PolicyLattice::load(&path) {
+            Ok(lat) => {
+                notes.push(format!(
+                    "{:<12} lattice {} ({} nodes, tol {})",
+                    family.name(),
+                    lat.fingerprint(),
+                    lat.node_count(),
+                    lat.tolerance()
+                ));
+                lattices.push(lat);
+            }
+            Err(e) => notes.push(format!(
+                "{:<12} exact-only ({}: {e})",
+                family.name(),
+                path.display()
+            )),
+        }
+    }
+    (lattices, notes)
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop load harness (`resq bench serve`, perf_baseline).
+// ---------------------------------------------------------------------
+
+/// Which wire protocol [`run_load`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadProto {
+    /// Keep-alive HTTP `POST /decide` (or `/decide/batch`).
+    Http,
+    /// The length-prefixed TCP fast path.
+    Framed,
+}
+
+/// Options for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Target address (`host:port`).
+    pub addr: String,
+    /// Wire protocol.
+    pub proto: LoadProto,
+    /// Concurrent closed-loop connections (one thread each).
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests: usize,
+    /// Decisions per request (`> 1` uses batch semantics).
+    pub batch_size: usize,
+    /// One decision-request JSON object (see [`render_request`]).
+    pub body: String,
+}
+
+/// What a [`run_load`] run measured. Latency quantiles are exact order
+/// statistics over every per-request round-trip.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Decisions answered (`requests × batch_size`).
+    pub decisions: u64,
+    /// Failed requests (transport errors or error responses).
+    pub errors: u64,
+    /// Wall-clock duration of the whole closed loop.
+    pub elapsed: Duration,
+    /// Median request round-trip in nanoseconds.
+    pub p50_nanos: f64,
+    /// 90th-percentile round-trip.
+    pub p90_nanos: f64,
+    /// 99th-percentile round-trip.
+    pub p99_nanos: f64,
+}
+
+impl LoadReport {
+    /// Sustained decisions per second over the closed loop.
+    pub fn throughput(&self) -> f64 {
+        self.decisions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Reads one HTTP response off a keep-alive connection; returns the
+/// status code and body.
+fn read_http_response(stream: &mut TcpStream) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut head = Vec::new();
+    let mut one = [0u8; 1];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut one)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        head.push(one[0]);
+        if head.len() > 64 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "oversized response head",
+            ));
+        }
+    }
+    let head_str = String::from_utf8_lossy(&head).into_owned();
+    let status: u16 = head_str
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let len: usize = head_str
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+/// Drives a closed-loop load against a running decision server:
+/// `connections` threads each issue `requests` back-to-back requests on
+/// one persistent connection and time every round-trip. Returns the
+/// merged report (exact order-statistic quantiles).
+pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
+    let body = if opts.batch_size > 1 {
+        let mut b = String::from("[");
+        for i in 0..opts.batch_size {
+            if i > 0 {
+                b.push(',');
+            }
+            b.push_str(&opts.body);
+        }
+        b.push(']');
+        b
+    } else {
+        opts.body.clone()
+    };
+    let path = if opts.batch_size > 1 {
+        "/decide/batch"
+    } else {
+        "/decide"
+    };
+    let http_request = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let frame = http::encode_frame(body.as_bytes());
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..opts.connections.max(1) {
+        let addr = opts.addr.clone();
+        let proto = opts.proto;
+        let requests = opts.requests;
+        let http_request = http_request.clone();
+        let frame = frame.clone();
+        handles.push(std::thread::spawn(move || -> Result<(Vec<f64>, u64), String> {
+            let mut stream = TcpStream::connect(&addr)
+                .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .map_err(|e| e.to_string())?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| e.to_string())?;
+            let mut latencies = Vec::with_capacity(requests);
+            let mut errors = 0u64;
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                let ok = match proto {
+                    LoadProto::Http => stream
+                        .write_all(http_request.as_bytes())
+                        .ok()
+                        .and_then(|()| read_http_response(&mut stream).ok())
+                        .is_some_and(|(status, _)| status == 200),
+                    LoadProto::Framed => (|| -> std::io::Result<bool> {
+                        stream.write_all(&frame)?;
+                        let mut len_buf = [0u8; 4];
+                        stream.read_exact(&mut len_buf)?;
+                        let len = u32::from_le_bytes(len_buf) as usize;
+                        let mut payload = vec![0u8; len];
+                        stream.read_exact(&mut payload)?;
+                        Ok(!payload.starts_with(b"{\"error\""))
+                    })()
+                    .unwrap_or(false),
+                };
+                if ok {
+                    latencies.push(t0.elapsed().as_nanos() as f64);
+                } else {
+                    errors += 1;
+                }
+            }
+            Ok((latencies, errors))
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (lats, errs) = h
+            .join()
+            .map_err(|_| "load connection thread panicked".to_string())??;
+        latencies.extend(lats);
+        errors += errs;
+    }
+    let elapsed = start.elapsed();
+    if latencies.is_empty() {
+        return Err(format!("no request succeeded against `{}`", opts.addr));
+    }
+    let requests = latencies.len() as u64;
+    Ok(LoadReport {
+        connections: opts.connections.max(1),
+        requests,
+        decisions: requests * opts.batch_size.max(1) as u64,
+        errors,
+        elapsed,
+        p50_nanos: resq::sim::stats::quantile(&latencies, 0.50),
+        p90_nanos: resq::sim::stats::quantile(&latencies, 0.90),
+        p99_nanos: resq::sim::stats::quantile(&latencies, 0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resq::LatticeSpec;
+
+    fn exact_only_service() -> DecisionService {
+        DecisionService::new(Vec::new(), 2, 8)
+    }
+
+    #[test]
+    fn task_spec_round_trips_every_family() {
+        for p in [
+            TaskParams::Uniform { lo: 1.0, hi: 7.5 },
+            TaskParams::Exponential { mean: 3.0 },
+            TaskParams::Normal {
+                mean: 3.0,
+                sigma: 0.5,
+            },
+            TaskParams::LogNormal {
+                mean: 2.0,
+                sd: 0.7,
+            },
+        ] {
+            let spec = task_spec(&p);
+            let back = task_params(&spec).expect("round-trip parse");
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(1.0);
+            match (p, back) {
+                (TaskParams::Uniform { lo, hi }, TaskParams::Uniform { lo: l2, hi: h2 }) => {
+                    assert!(close(lo, l2) && close(hi, h2))
+                }
+                (
+                    TaskParams::Exponential { mean },
+                    TaskParams::Exponential { mean: m2 },
+                ) => assert!(close(mean, m2)),
+                (
+                    TaskParams::Normal { mean, sigma },
+                    TaskParams::Normal { mean: m2, sigma: s2 },
+                ) => assert!(close(mean, m2) && close(sigma, s2)),
+                (
+                    TaskParams::LogNormal { mean, sd },
+                    TaskParams::LogNormal { mean: m2, sd: s2 },
+                ) => assert!(close(mean, m2) && close(sd, s2)),
+                (a, b) => panic!("family changed: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_errors_are_typed() {
+        let svc = exact_only_service();
+        for (body, kind) in [
+            ("", "parse"),
+            ("not json", "parse"),
+            ("[]", "parse"),                   // array into /decide
+            ("{}", "parse"),                   // missing fields
+            ("{\"task\":42}", "parse"),        // task not a string
+            ("{\"task\":\"pareto:1,2\",\"ckpt_mean\":5,\"reservation\":29}", "spec"),
+            ("{\"task\":\"normal:3,0.5@0,\",\"ckpt_mean\":5,\"reservation\":29}", "spec"),
+            (
+                "{\"task\":\"normal:3,0.5\",\"ckpt_mean\":-5,\"reservation\":29}",
+                "domain",
+            ),
+            (
+                "{\"task\":\"normal:-3,0.5\",\"ckpt_mean\":5,\"reservation\":29}",
+                "domain",
+            ),
+        ] {
+            let err = svc.answer_single(body).expect_err(body);
+            assert_eq!(err.kind, kind, "{body} -> {}", err.message);
+            let rendered = err.render();
+            let parsed = json::parse(&rendered).expect("typed error is valid JSON");
+            assert!(parsed.get("error").is_some(), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn batch_answers_inline_errors_without_failing_neighbors() {
+        let svc = exact_only_service();
+        let good = "{\"task\":\"normal:3,0.5\",\"ckpt_mean\":5,\"ckpt_sigma\":0.4,\"reservation\":29,\"work\":25}";
+        let body = format!("[{good},{{\"task\":\"nope\"}},{good}]");
+        let out = svc.answer_batch(&body).expect("batch answers");
+        let JsonValue::Array(items) = json::parse(&out).expect("valid JSON") else {
+            panic!("batch response must be an array: {out}");
+        };
+        assert_eq!(items.len(), 3);
+        assert!(items[0].get("source").is_some());
+        assert!(items[1].get("error").is_some());
+        assert!(items[2].get("source").is_some());
+        // Identical queries render identical bytes.
+        assert_eq!(items[0].render(), items[2].render());
+        // work=25 >= the fig. 8 threshold (~20.3): checkpoint now.
+        assert_eq!(items[0].get("checkpoint_now").and_then(|b| b.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn oversized_batch_is_a_typed_413() {
+        let svc = exact_only_service();
+        let body = format!("[{}]", vec!["{}"; MAX_BATCH + 1].join(","));
+        let err = svc.answer_batch(&body).expect_err("over the cap");
+        assert_eq!(err.kind, "batch");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn admission_sheds_past_max_inflight() {
+        let svc = DecisionService::new(Vec::new(), 1, 2);
+        assert!(svc.admit());
+        assert!(svc.admit());
+        let before = DECIDE_REJECTED_TOTAL.get();
+        assert!(!svc.admit(), "third concurrent request must shed");
+        assert_eq!(DECIDE_REJECTED_TOTAL.get(), before + 1);
+        svc.release();
+        assert!(svc.admit(), "released slot is reusable");
+        svc.release();
+        svc.release();
+        assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
+    fn lattice_hits_and_fallbacks_are_counted() {
+        let spec = LatticeSpec::defaults(LawFamily::Exponential).with_points(5);
+        let lattice = resq::core::lattice::build(&spec).expect("build small lattice");
+        let axes = lattice.axes();
+        let mut cache = SolveCache::new();
+        let in_grid = (0..16)
+            .map(|k| {
+                let f = (k as f64 + 0.5) / 16.0;
+                let coords: Vec<f64> = axes.iter().map(|a| a.lo + f * (a.hi - a.lo)).collect();
+                lattice.query_for_coords(&coords, 29.0)
+            })
+            .find(|q| {
+                lattice
+                    .query(q, &mut cache)
+                    .map(|a| a.source == AnswerSource::Lattice)
+                    .unwrap_or(false)
+            })
+            .expect("a served lattice query exists");
+        let svc = DecisionService::new(vec![lattice], 2, 8);
+        let hits0 = DECIDE_LATTICE_HITS_TOTAL.get();
+        let falls0 = DECIDE_FALLBACKS_TOTAL.get();
+        let a = svc.decide(&in_grid).expect("in-grid decision");
+        assert_eq!(a.source, AnswerSource::Lattice);
+        assert_eq!(DECIDE_LATTICE_HITS_TOTAL.get(), hits0 + 1);
+        // No normal-family lattice loaded: exact fallback.
+        let q = PolicyQuery {
+            task: TaskParams::Normal {
+                mean: 3.0,
+                sigma: 0.5,
+            },
+            ckpt_mean: 5.0,
+            ckpt_sigma: 0.4,
+            r: 29.0,
+        };
+        let b = svc.decide(&q).expect("fallback decision");
+        assert_eq!(b.source, AnswerSource::Exact);
+        assert!(DECIDE_FALLBACKS_TOTAL.get() > falls0);
+    }
+}

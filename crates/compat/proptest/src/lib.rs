@@ -196,6 +196,14 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary() -> ArbitraryStrategy<u8> {
+        ArbitraryStrategy {
+            gen_fn: |rng| rng.next_u64() as u8,
+        }
+    }
+}
+
 impl Arbitrary for u64 {
     fn arbitrary() -> ArbitraryStrategy<u64> {
         ArbitraryStrategy {

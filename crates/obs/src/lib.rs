@@ -36,9 +36,12 @@
 //!   every event row by [`TracedSink`], plus a process-global
 //!   [`RunRegistry`] of live runs.
 //! * **Live exposition** ([`http`]): a dependency-free HTTP/1.1 server
-//!   (`resq obs serve`) publishing `/metrics`, `/metrics.json`,
+//!   core (`resq obs serve`) publishing `/metrics`, `/metrics.json`,
 //!   `/healthz`, `/spans` and `/runs` from interference-free
-//!   [`metrics::Snapshot`] captures.
+//!   [`metrics::Snapshot`] captures. The same accept-loop/worker
+//!   implementation backs handler-injected keep-alive HTTP
+//!   ([`http::serve_with`]) and a length-prefixed TCP framing
+//!   ([`http::serve_framed`]) for the `resq serve` decision daemon.
 //! * **Trace export** ([`chrometrace`]): converts an `events.jsonl`
 //!   log into Chrome `trace_event` JSON for `chrome://tracing` and
 //!   Perfetto (`resq obs export-trace`).

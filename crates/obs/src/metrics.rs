@@ -6,7 +6,7 @@
 //! so the hot paths pay one relaxed `fetch_add` per operation, not per
 //! inner-loop iteration.
 //!
-//! The canonical metric registry is [`ALL_COUNTERS`] /
+//! The canonical metric registry is [`ALL_COUNTERS`] / [`ALL_GAUGES`] /
 //! [`ALL_HISTOGRAMS`]; `docs/OBSERVABILITY.md` is checked against those
 //! names by `tests/docs_sync.rs`. Three expositions read the registry
 //! (selected by the CLI `--metrics-format` flag):
@@ -22,7 +22,7 @@
 //! [`Snapshot::capture`] + [`Snapshot::delta`].
 
 use crate::span;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A named, process-global monotone counter.
 pub struct Counter {
@@ -107,6 +107,64 @@ impl Tally<'_> {
 impl Drop for Tally<'_> {
     fn drop(&mut self) {
         self.counter.add(self.n);
+    }
+}
+
+/// A named, process-global instantaneous gauge (a level, not a total):
+/// queue depths, in-flight request counts. Signed so transient
+/// decrement-past-zero races stay visible instead of wrapping.
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Declares a gauge (used by this crate's statics).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The metric name, e.g. `decide_queue_depth`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the level (relaxed ordering).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the level.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run CLI deltas).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -380,6 +438,44 @@ pub static HTTP_ERRORS_TOTAL: Counter = Counter::new(
     "telemetry-server requests answered with an error status or timed out",
 );
 
+/// Checkpoint decisions requested from the `resq serve` daemon
+/// (`POST /decide`, `/decide/batch` and the length-prefixed TCP fast
+/// path); batch requests count one per item.
+pub static DECIDE_REQUESTS_TOTAL: Counter = Counter::new(
+    "decide_requests_total",
+    "checkpoint decisions requested from the decision service",
+);
+
+/// Decisions the service answered from the interpolated policy lattice
+/// (the O(µs) path).
+pub static DECIDE_LATTICE_HITS_TOTAL: Counter = Counter::new(
+    "decide_lattice_hits_total",
+    "decision-service answers served by lattice interpolation",
+);
+
+/// Decisions the service answered with the exact solver (no lattice for
+/// the family, out-of-grid query, or the lattice's own error-check
+/// fallback).
+pub static DECIDE_FALLBACKS_TOTAL: Counter = Counter::new(
+    "decide_fallbacks_total",
+    "decision-service answers that fell back to the exact solver",
+);
+
+/// Decisions rejected by the admission policy (429/503 + Retry-After)
+/// before reaching the solver.
+pub static DECIDE_REJECTED_TOTAL: Counter = Counter::new(
+    "decide_rejected_total",
+    "decision requests shed by the admission/backpressure policy",
+);
+
+/// Decisions currently being solved by the decision service (admitted,
+/// not yet answered) — the backpressure policy rejects new work when
+/// this reaches the configured cap.
+pub static DECIDE_QUEUE_DEPTH: Gauge = Gauge::new(
+    "decide_queue_depth",
+    "decision requests admitted and not yet answered",
+);
+
 /// Distribution of trials processed per worker thread per run —
 /// lopsided buckets mean poor load balance.
 pub static MC_WORKER_TRIALS: Histogram = Histogram::new(
@@ -405,7 +501,14 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &LATTICE_FALLBACKS_TOTAL,
     &HTTP_REQUESTS_TOTAL,
     &HTTP_ERRORS_TOTAL,
+    &DECIDE_REQUESTS_TOTAL,
+    &DECIDE_LATTICE_HITS_TOTAL,
+    &DECIDE_FALLBACKS_TOTAL,
+    &DECIDE_REJECTED_TOTAL,
 ];
+
+/// Every registered gauge, in display order.
+pub static ALL_GAUGES: &[&Gauge] = &[&DECIDE_QUEUE_DEPTH];
 
 /// Every registered histogram, in display order.
 pub static ALL_HISTOGRAMS: &[&Histogram] = &[&MC_WORKER_TRIALS];
@@ -414,6 +517,9 @@ pub static ALL_HISTOGRAMS: &[&Histogram] = &[&MC_WORKER_TRIALS];
 pub fn reset_all() {
     for c in ALL_COUNTERS {
         c.reset();
+    }
+    for g in ALL_GAUGES {
+        g.reset();
     }
     for h in ALL_HISTOGRAMS {
         h.reset();
@@ -471,6 +577,8 @@ impl HistogramSnapshot {
 pub struct Snapshot {
     /// `(name, value)` for every registered counter, in display order.
     pub counters: Vec<(&'static str, u64)>,
+    /// `(name, level)` for every registered gauge, in display order.
+    pub gauges: Vec<(&'static str, i64)>,
     /// A copy of every registered histogram, in display order.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -480,6 +588,7 @@ impl Snapshot {
     pub fn capture() -> Self {
         Self {
             counters: snapshot(),
+            gauges: ALL_GAUGES.iter().map(|g| (g.name(), g.get())).collect(),
             histograms: ALL_HISTOGRAMS
                 .iter()
                 .map(|h| HistogramSnapshot {
@@ -493,7 +602,8 @@ impl Snapshot {
 
     /// The change since `earlier`: per-counter and per-bucket saturating
     /// subtraction (a reset between the captures shows as zero, not as
-    /// an underflow panic).
+    /// an underflow panic). Gauges are levels, not totals, so the delta
+    /// carries the later capture's levels unchanged.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -529,6 +639,7 @@ impl Snapshot {
             .collect();
         Snapshot {
             counters,
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
@@ -536,6 +647,14 @@ impl Snapshot {
     /// The value of the named counter (0 when unknown).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The level of the named gauge (0 when unknown).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
             .iter()
             .find(|&&(n, _)| n == name)
             .map_or(0, |&(_, v)| v)
@@ -557,6 +676,9 @@ pub fn format_summary() -> String {
     let mut out = String::from("metrics:\n");
     for c in ALL_COUNTERS {
         out.push_str(&format!("  {:<24} {:>12}  {}\n", c.name(), c.get(), c.help()));
+    }
+    for g in ALL_GAUGES {
+        out.push_str(&format!("  {:<24} {:>12}  {}\n", g.name(), g.get(), g.help()));
     }
     for h in ALL_HISTOGRAMS {
         out.push_str(&format!(
@@ -675,6 +797,12 @@ pub fn format_prometheus_from(snap: &Snapshot, spans: &[span::SpanStats]) -> Str
         out.push_str(&format!("# TYPE {name} counter\n"));
         out.push_str(&format!("{name} {}\n", snap.counter(c.name())));
     }
+    for g in ALL_GAUGES {
+        let name = format!("{PROMETHEUS_PREFIX}{}", g.name());
+        out.push_str(&format!("# HELP {name} {}\n", prometheus_escape_help(g.help())));
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {}\n", snap.gauge(g.name())));
+    }
     for h in ALL_HISTOGRAMS {
         let Some(hs) = snap.histogram(h.name()) else {
             continue;
@@ -712,6 +840,14 @@ pub fn format_json_from(snap: &Snapshot, spans: &[span::SpanStats]) -> String {
     use crate::json::write_escaped;
     let mut out = String::from("{\"counters\":{");
     for (i, &(name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, name);
+        out.push_str(&format!(":{value}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, &(name, value)) in snap.gauges.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -855,6 +991,9 @@ mod tests {
         for c in ALL_COUNTERS {
             assert!(names.insert(c.name()), "duplicate metric {}", c.name());
         }
+        for g in ALL_GAUGES {
+            assert!(names.insert(g.name()), "duplicate metric {}", g.name());
+        }
         for h in ALL_HISTOGRAMS {
             assert!(names.insert(h.name()), "duplicate metric {}", h.name());
         }
@@ -866,9 +1005,28 @@ mod tests {
         for c in ALL_COUNTERS {
             assert!(text.contains(c.name()), "summary missing {}", c.name());
         }
+        for g in ALL_GAUGES {
+            assert!(text.contains(g.name()), "summary missing {}", g.name());
+        }
         for h in ALL_HISTOGRAMS {
             assert!(text.contains(h.name()), "summary missing {}", h.name());
         }
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways_and_snapshot() {
+        DECIDE_QUEUE_DEPTH.set(0);
+        DECIDE_QUEUE_DEPTH.add(5);
+        DECIDE_QUEUE_DEPTH.sub(2);
+        assert_eq!(DECIDE_QUEUE_DEPTH.get(), 3);
+        let snap = Snapshot::capture();
+        assert_eq!(snap.gauge("decide_queue_depth"), 3);
+        assert_eq!(snap.gauge("no_such_gauge"), 0);
+        // A delta carries the later levels unchanged: gauges are levels.
+        let later = Snapshot::capture();
+        assert_eq!(later.delta(&snap).gauge("decide_queue_depth"), 3);
+        DECIDE_QUEUE_DEPTH.reset();
+        assert_eq!(DECIDE_QUEUE_DEPTH.get(), 0);
     }
 
     #[test]
@@ -904,6 +1062,7 @@ mod tests {
         // A reset elsewhere (e.g. another test) must not panic the delta.
         let zeroed = Snapshot {
             counters: before.counters.iter().map(|&(n, _)| (n, 0)).collect(),
+            gauges: before.gauges.clone(),
             histograms: before
                 .histograms
                 .iter()
@@ -936,6 +1095,12 @@ mod tests {
             assert!(text.contains(&format!("# TYPE {name} counter\n")), "missing TYPE for {name}");
             assert!(text.contains(&format!("\n{name} ")) || text.starts_with(&format!("{name} ")),
                 "missing sample for {name}");
+        }
+        // Every gauge appears with a gauge TYPE and a sample line.
+        for g in ALL_GAUGES {
+            let name = format!("{PROMETHEUS_PREFIX}{}", g.name());
+            assert!(text.contains(&format!("# TYPE {name} gauge\n")), "missing TYPE for {name}");
+            assert!(text.contains(&format!("\n{name} ")), "missing sample for {name}");
         }
         // Histogram family with +Inf bucket, _sum, _count.
         assert!(text.contains("# TYPE resq_mc_worker_trials histogram"));
@@ -974,6 +1139,13 @@ mod tests {
                 v.get("counters").unwrap().get(c.name()).is_some(),
                 "JSON missing counter {}",
                 c.name()
+            );
+        }
+        for g in ALL_GAUGES {
+            assert!(
+                v.get("gauges").unwrap().get(g.name()).is_some(),
+                "JSON missing gauge {}",
+                g.name()
             );
         }
         let span_obj = v.get("spans").unwrap().get("sim/mc").unwrap();

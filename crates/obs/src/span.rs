@@ -83,6 +83,11 @@ pub mod span_name {
     /// (`resq_core::lattice::build`); the per-node exact solves nest
     /// under it.
     pub const LATTICE_BUILD: &str = "lattice/build";
+    /// One checkpoint decision answered by the `resq serve` daemon
+    /// (single request or one batch item). Opened on the connection
+    /// worker thread, so the lattice/solver spans it triggers nest under
+    /// it (`serve/decide/solve/lattice_lookup`).
+    pub const SERVE_DECIDE: &str = "serve/decide";
 
     /// Every canonical span name, for docs-sync checks.
     pub const ALL: &[&str] = &[
@@ -92,6 +97,7 @@ pub mod span_name {
         SOLVE_OBJECTIVE,
         SOLVE_LATTICE_LOOKUP,
         LATTICE_BUILD,
+        SERVE_DECIDE,
         MC_RUN,
         MC_CHUNK,
         MC_BATCH,

@@ -539,6 +539,129 @@ fn concurrent_scraping_does_not_perturb_events_or_spans() {
 }
 
 #[test]
+fn concurrent_decide_load_does_not_perturb_events_or_spans() {
+    // Same contract as the scraping test, one layer up: a *decision
+    // service* answering `POST /decide` traffic on its own worker
+    // threads (each decision solving through a shared cache and opening
+    // a `serve/decide` span) must be invisible to a Monte-Carlo run in
+    // flight — the run's event log and span structure stay byte-for-byte
+    // what they are with no daemon and no clients at all. Span scopes
+    // are thread-local, so daemon-side spans must never land in the
+    // run's scoped registry.
+    use resq::core::lattice::solve_exact;
+    use resq::obs::http::{serve_with, Request, Response, ServerConfig};
+    use resq::obs::span::{self, span_name, SpanRegistry};
+    use resq::obs::MemorySink;
+    use resq::sim::run_trials_observed;
+    use resq::{PolicyQuery, SolveCache, TaskParams};
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let run = |load: bool| {
+        let server = load.then(|| {
+            // A minimal stand-in for the daemon's pipeline: parse the
+            // body's reservation, solve exactly through a shared cache
+            // under a `serve/decide` span. (The full daemon lives in
+            // `resq-cli`; this facade-level fixture exercises the same
+            // server core, cache sharing and span discipline.)
+            let cache = Arc::new(Mutex::new(SolveCache::new()));
+            let handler = Arc::new(move |req: &Request| -> Response {
+                let _span = span::enter(span_name::SERVE_DECIDE);
+                let r: f64 = req.body_str().trim().parse().unwrap_or(29.0);
+                let q = PolicyQuery {
+                    task: TaskParams::Exponential { mean: 3.0 },
+                    ckpt_mean: 5.0,
+                    ckpt_sigma: 0.4,
+                    r,
+                };
+                let mut cache = cache.lock().unwrap();
+                match solve_exact(&q, &mut cache) {
+                    Ok(ans) => Response::ok("application/json", format!("{}", ans.x_opt)),
+                    Err(_) => Response::error(422, "Unprocessable Entity"),
+                }
+            });
+            let server =
+                serve_with(ServerConfig::new("127.0.0.1:0"), handler).expect("bind decide server");
+            let addr = server.local_addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let clients: Vec<_> = (0..2)
+                .map(|_| {
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut answered = 0u64;
+                        // do-while, as in the scraping test: always
+                        // complete at least one decision even if the
+                        // workload finishes first on a single core.
+                        loop {
+                            if let Ok(mut conn) = std::net::TcpStream::connect(addr) {
+                                let _ = conn.write_all(
+                                    b"POST /decide HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\nConnection: close\r\n\r\n29.0",
+                                );
+                                let mut body = String::new();
+                                let _ = conn.read_to_string(&mut body);
+                                if body.contains("200 OK") {
+                                    answered += 1;
+                                }
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                return answered;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                        }
+                    })
+                })
+                .collect();
+            (server, stop, clients)
+        });
+        let sink = MemorySink::new();
+        let registry = SpanRegistry::new();
+        {
+            let _scope = span::scoped(registry.clone());
+            run_trials_observed(
+                MonteCarloConfig {
+                    trials: 25_000,
+                    seed: 99,
+                    threads: 2,
+                },
+                &sink,
+                1_000,
+                |_, rng| s.run_once(&policy, rng).work_saved,
+            );
+        }
+        if let Some((server, stop, clients)) = server {
+            stop.store(true, Ordering::Relaxed);
+            let answered: u64 = clients
+                .into_iter()
+                .map(|h| h.join().expect("decide client panicked"))
+                .sum();
+            assert!(answered > 0, "no decision was ever answered");
+            server.stop();
+        }
+        (sink.lines(), registry.structure())
+    };
+    let (quiet_log, quiet_spans) = run(false);
+    let (loaded_log, loaded_spans) = run(true);
+    assert!(!quiet_log.is_empty());
+    assert_eq!(
+        quiet_log, loaded_log,
+        "live /decide load changed the event log"
+    );
+    assert_eq!(
+        quiet_spans, loaded_spans,
+        "live /decide load changed the span structure"
+    );
+    // And specifically: the daemon's serve/decide spans never landed in
+    // the run's registry.
+    assert!(
+        !loaded_spans.iter().any(|(p, _)| p.contains("serve")),
+        "daemon spans leaked into the run registry: {loaded_spans:?}"
+    );
+}
+
+#[test]
 fn analytic_planning_is_deterministic() {
     // No RNG involved: repeated planning gives identical bits.
     use resq::{DynamicStrategy, StaticStrategy};

@@ -137,6 +137,13 @@ fn observability_doc_covers_every_metric() {
             h.name()
         );
     }
+    for g in resq::obs::metrics::ALL_GAUGES {
+        assert!(
+            doc.contains(&format!("`{}`", g.name())),
+            "docs/OBSERVABILITY.md does not document gauge `{}`",
+            g.name()
+        );
+    }
 }
 
 #[test]
@@ -201,6 +208,51 @@ fn obs_subcommands_are_in_usage_and_docs() {
         assert!(
             doc.contains(&format!("obs {action}")),
             "docs/OBSERVABILITY.md does not document `resq obs {action}`"
+        );
+    }
+}
+
+#[test]
+fn serve_subcommands_are_in_usage_and_docs() {
+    // The decision daemon (`resq serve`) and its load harness
+    // (`resq bench serve`) are operational surface: both guides must
+    // cover them, and the endpoint/protocol vocabulary is pinned in
+    // code (`DECIDE_ENDPOINTS`, `BENCH_ACTIONS`, `LOAD_PROTOS`).
+    let ops = read("docs/OPERATIONS.md");
+    let obs_doc = read("docs/OBSERVABILITY.md");
+    assert!(USAGE.contains("\n  serve "), "USAGE lost the `serve` subcommand");
+    assert!(USAGE.contains("\n  bench "), "USAGE lost the `bench` subcommand");
+    for action in resq_cli::BENCH_ACTIONS {
+        assert!(
+            USAGE.contains(&format!("bench {action} ")),
+            "USAGE lost `bench {action}`"
+        );
+        assert!(
+            ops.contains(&format!("bench {action}")),
+            "docs/OPERATIONS.md does not document `resq bench {action}`"
+        );
+    }
+    for proto in resq_cli::LOAD_PROTOS {
+        assert!(USAGE.contains(proto), "USAGE lost load proto `{proto}`");
+        assert!(
+            ops.contains(&format!("`{proto}`")),
+            "docs/OPERATIONS.md does not document load proto `{proto}`"
+        );
+    }
+    for endpoint in resq_cli::serve::DECIDE_ENDPOINTS {
+        assert!(
+            ops.contains(&format!("`{endpoint}`")),
+            "docs/OPERATIONS.md does not document endpoint `{endpoint}`"
+        );
+        assert!(
+            obs_doc.contains(&format!("`{endpoint}`")),
+            "docs/OBSERVABILITY.md does not document endpoint `{endpoint}`"
+        );
+    }
+    for needle in ["resq serve", "Retry-After", "SIGTERM"] {
+        assert!(
+            ops.contains(needle),
+            "docs/OPERATIONS.md lost the decision-service walkthrough (`{needle}`)"
         );
     }
 }
