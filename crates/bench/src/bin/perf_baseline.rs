@@ -303,15 +303,13 @@ fn serve_decide_entry(smoke: bool) -> Entry {
     cfg.queue_depth = 64;
     let server = resq_obs::http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
         .expect("serve_decide: bind daemon");
-    let report = serve::run_load(&LoadOptions {
-        addr: server.local_addr().to_string(),
-        proto: LoadProto::Framed,
-        connections,
-        requests: scaled(2000, smoke).max(50) as usize,
-        batch_size: 1,
-        body,
-    })
-    .expect("serve_decide: load run");
+    // Retry knobs stay at their off defaults (one attempt, no body
+    // check): the measured path must be the same bytes-in/bytes-out
+    // loop this entry has always gated.
+    let mut opts = LoadOptions::new(server.local_addr().to_string(), LoadProto::Framed, body);
+    opts.connections = connections;
+    opts.requests = scaled(2000, smoke).max(50) as usize;
+    let report = serve::run_load(&opts).expect("serve_decide: load run");
     server.stop();
     assert_eq!(report.errors, 0, "serve_decide: load saw error responses");
     Entry {
@@ -750,7 +748,7 @@ fn main() {
     let mode = if smoke { "smoke" } else { "full" };
     let report = render(&entries, mode, start.elapsed().as_secs_f64());
     let path = out_path.unwrap_or_else(|| "BENCH_perf.json".to_string());
-    std::fs::write(&path, &report).unwrap_or_else(|e| {
+    resq_obs::write_atomic(std::path::Path::new(&path), report.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write `{path}`: {e}");
         std::process::exit(1);
     });

@@ -1,6 +1,5 @@
 //! Reporting helpers shared by the figure and experiment binaries.
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One paper-vs-measured comparison.
@@ -122,15 +121,20 @@ pub fn write_csv(
     header: &[&str],
     rows: impl IntoIterator<Item = Vec<f64>>,
 ) -> std::io::Result<()> {
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{}", header.join(","))?;
+    // Rendered in memory and published atomically
+    // (resq_obs::write_atomic): a bench killed mid-run leaves the
+    // previous complete CSV, never a silently truncated one.
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
     let mut n_rows: u64 = 0;
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v:.10}")).collect();
-        writeln!(f, "{}", line.join(","))?;
+        out.push_str(&line.join(","));
+        out.push('\n');
         n_rows += 1;
     }
-    f.flush()?;
+    resq_obs::write_atomic(path, out.as_bytes())?;
     resq_obs::RunManifest::new(format!("bench/{tool}"))
         .config("columns", header.join(","))
         .config("rows", n_rows)

@@ -29,7 +29,7 @@ pub const METRICS_FORMATS: &[&str] = &["summary", "prometheus", "json"];
 
 /// Actions of the `resq bench` subcommand family. `tests/docs_sync.rs`
 /// checks the operations guide covers each one.
-pub const BENCH_ACTIONS: &[&str] = &["serve"];
+pub const BENCH_ACTIONS: &[&str] = &["serve", "chaos"];
 
 /// Accepted values of `resq bench serve --proto`, first entry is the
 /// default.
@@ -75,7 +75,9 @@ COMMANDS:
   serve             long-running checkpoint-decision daemon: POST /decide and
                     POST /decide/batch on one HTTP port next to every telemetry
                     endpoint; lattice-first pipeline with exact-solver fallback;
-                    drains in-flight requests and exits 0 on SIGTERM/SIGINT
+                    SIGHUP hot-reloads the lattice artifacts (corrupt ones are
+                    quarantined to exact-only, never fatal); drains in-flight
+                    requests and exits 0 on SIGTERM/SIGINT
       [--addr <host:port>=127.0.0.1:9779] HTTP listener (decisions + telemetry)
       [--tcp-addr <host:port>]            also serve the length-prefixed TCP
                                           fast path (u32-LE length + JSON)
@@ -86,6 +88,13 @@ COMMANDS:
                                           past it are shed 429 + Retry-After
       [--shards <n>=8]                    independent exact-solve cache shards
       [--workers <n>=4]                   connection workers per listener
+      [--deadline-ms <ms>=1000]           per-request decision deadline; answers
+                                          past it become typed timeout errors
+                                          (504; 0 disables)
+      [--chaos-spec <spec>]               seeded deterministic fault injection
+                                          (or $RESQ_CHAOS_SPEC), e.g.
+                                          seed=7,panic=0.05,torn=0.1,flip=0.1,
+                                          stall=0.03,slow=0.05
   bench             built-in load harnesses
       bench serve   closed-loop load against the decision daemon; without
                     --addr an in-process daemon (small exponential lattice,
@@ -97,6 +106,24 @@ COMMANDS:
           [--proto <framed|http>=framed]  wire protocol to drive
           [--addr <host:port>]            target an already-running daemon
           [--min-throughput <dps>]        nonzero exit below this decisions/sec
+          [--retries <n>=0]               retry attempts per failed request
+                                          (reconnect + exponential backoff with
+                                          jitter, honoring Retry-After)
+          [--backoff-ms <ms>=5]           base retry backoff
+          [--deadline-s <s>]              total per-connection retry budget
+      bench chaos   closed-loop chaos tier: a seeded fault schedule (worker
+                    panics, torn/byte-flipped responses, accept stalls, slow
+                    writers) against the daemon, gated on full recovery —
+                    every request answered byte-identical to a clean solve,
+                    no leaked admission slots, no escaped panics
+          [--seed <s>=42]                 fault-schedule seed
+          [--connections <n>=8]           concurrent closed-loop connections
+          [--requests <n>=50]             requests per connection
+          [--batch-size <n>=1]            decisions per request
+          [--proto <framed|http>=framed]  wire protocol to drive
+          [--chaos-spec <spec>]           override the default fault rates
+          [--addr <host:port>]            drive an already-running daemon
+                                          (start it with the same --chaos-spec)
   obs               inspect artifacts produced by the observability layer
       obs summarize <events.jsonl>            fold an event log into per-type
                                               counts and the run's headline facts

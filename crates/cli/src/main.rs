@@ -155,7 +155,7 @@ fn obs_command(args: &Args) -> Result<(), ArgError> {
             let export = chrometrace::export(&text).map_err(|e| ArgError(format!("`{path}`: {e}")))?;
             match args.get("out") {
                 Some(out) => {
-                    std::fs::write(out, &export.json)
+                    resq::obs::write_atomic(std::path::Path::new(out), export.json.as_bytes())
                         .map_err(|e| ArgError(format!("cannot write `{out}`: {e}")))?;
                     eprintln!("trace written     : {out}");
                 }
@@ -336,26 +336,53 @@ fn obs_serve(args: &Args) -> Result<(), ArgError> {
 /// endpoint) on `--addr`, optionally the length-prefixed TCP fast path
 /// on `--tcp-addr`, through a [`DecisionService`] that tries the
 /// per-family policy lattices first and falls back to sharded exact
-/// solves. Runs until SIGTERM/SIGINT, then drains in-flight requests,
-/// joins every server thread and exits 0.
+/// solves. SIGHUP hot-reloads the lattice artifacts (atomic slot swap;
+/// corrupt artifacts quarantine to exact-only instead of killing the
+/// daemon); `--chaos-spec` (or `RESQ_CHAOS_SPEC`) arms deterministic
+/// fault injection; `--deadline-ms` bounds each decision with a typed
+/// `timeout` error. Runs until SIGTERM/SIGINT, then drains in-flight
+/// requests, joins every server thread and exits 0.
 fn serve_command(args: &Args) -> Result<(), ArgError> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:9779");
     let workers = args.u64_or("workers", 4)?.max(1) as usize;
     let shards = args.u64_or("shards", 8)?.max(1) as usize;
     let max_inflight = args.u64_or("max-inflight", 64)?.max(1) as usize;
+    let deadline_ms = args.u64_or("deadline-ms", 1000)?;
+    let deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+    let chaos_spec = args
+        .get("chaos-spec")
+        .map(String::from)
+        .or_else(|| std::env::var("RESQ_CHAOS_SPEC").ok());
+    let chaos = match &chaos_spec {
+        Some(spec) => Some(Arc::new(
+            resq::obs::chaos::ChaosPolicy::parse(spec)
+                .map_err(|e| ArgError(format!("flag `--chaos-spec`: {e}")))?,
+        )),
+        None => None,
+    };
+    if let Some(policy) = &chaos {
+        // Chaos injects real worker panics; the capture hook keeps them
+        // on single greppable lines (the chaos CI tier asserts no raw
+        // `panicked at` ever reaches the daemon log). Production runs
+        // keep the default hook.
+        resq::obs::chaos::install_panic_capture_hook();
+        eprintln!("chaos             : {}", policy.describe());
+    }
     let lattice_dir = args
         .get("lattice-dir")
         .map(String::from)
         .unwrap_or_else(|| std::env::var("RESQ_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
-    let (lattices, notes) = serve::load_lattices(std::path::Path::new(&lattice_dir));
-    for note in notes {
+    let service =
+        Arc::new(DecisionService::new(Vec::new(), shards, max_inflight).with_deadline(deadline));
+    for note in service.reload_from_dir(std::path::Path::new(&lattice_dir)) {
         eprintln!("lattice           : {note}");
     }
-    let service = Arc::new(DecisionService::new(lattices, shards, max_inflight));
     http::install_stop_signal_handlers();
+    http::install_reload_signal_handler();
     let mut cfg = http::ServerConfig::new(addr);
     cfg.workers = workers;
     cfg.queue_depth = 64;
+    cfg.chaos = chaos.clone();
     let server = http::serve_with(cfg, serve::http_handler(Arc::clone(&service)))
         .map_err(|e| ArgError(format!("cannot serve on `{addr}`: {e}")))?;
     eprintln!(
@@ -369,6 +396,7 @@ fn serve_command(args: &Args) -> Result<(), ArgError> {
             let mut cfg = http::ServerConfig::new(tcp_addr);
             cfg.workers = workers;
             cfg.queue_depth = 64;
+            cfg.chaos = chaos.clone();
             let s = http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
                 .map_err(|e| ArgError(format!("cannot serve on `{tcp_addr}`: {e}")))?;
             eprintln!(
@@ -380,6 +408,16 @@ fn serve_command(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     while !http::stop_requested() {
+        if http::take_reload_request() {
+            // SIGHUP: swap the lattice slots atomically under live
+            // traffic; requests in flight finish on the artifact they
+            // already hold.
+            eprintln!("reload requested  : re-reading {lattice_dir}");
+            for note in service.reload_from_dir(std::path::Path::new(&lattice_dir)) {
+                eprintln!("lattice           : {note}");
+            }
+            eprintln!("reload complete   : {} quarantined", service.quarantined_count());
+        }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     // Graceful drain: stop() answers the requests in flight before the
@@ -397,6 +435,7 @@ fn serve_command(args: &Args) -> Result<(), ArgError> {
 fn bench_command(args: &Args) -> Result<(), ArgError> {
     match args.positionals.first().map(String::as_str) {
         Some("serve") => bench_serve(args),
+        Some("chaos") => bench_chaos(args),
         _ => Err(ArgError(format!(
             "usage: resq bench <{}> [--flags]",
             BENCH_ACTIONS.join("|")
@@ -450,17 +489,22 @@ fn bench_serve(args: &Args) -> Result<(), ArgError> {
         })
         .ok_or_else(|| ArgError("no served lattice query to drive the load with".into()))?;
     let body = serve::render_request(&query, Some(10.0));
+    let retries = args.u64_or("retries", 0)? as usize;
+    let backoff_ms = args.u64_or("backoff-ms", 5)?;
+    let deadline_s = args.u64_or("deadline-s", 0)?;
+    let mut opts = LoadOptions::new(String::new(), proto, body);
+    opts.connections = connections;
+    opts.requests = requests;
+    opts.batch_size = batch_size;
+    opts.max_attempts = retries + 1;
+    opts.backoff_ms = backoff_ms;
+    opts.deadline = (deadline_s > 0).then(|| std::time::Duration::from_secs(deadline_s));
     let before = resq::obs::metrics::Snapshot::capture();
     let report = match args.get("addr") {
-        Some(addr) => serve::run_load(&LoadOptions {
-            addr: addr.to_string(),
-            proto,
-            connections,
-            requests,
-            batch_size,
-            body,
-        })
-        .map_err(ArgError)?,
+        Some(addr) => {
+            opts.addr = addr.to_string();
+            serve::run_load(&opts).map_err(ArgError)?
+        }
         None => {
             let service = Arc::new(DecisionService::new(
                 vec![lattice],
@@ -477,14 +521,8 @@ fn bench_serve(args: &Args) -> Result<(), ArgError> {
                 }
             }
             .map_err(|e| ArgError(format!("cannot bind the in-process daemon: {e}")))?;
-            let result = serve::run_load(&LoadOptions {
-                addr: server.local_addr().to_string(),
-                proto,
-                connections,
-                requests,
-                batch_size,
-                body,
-            });
+            opts.addr = server.local_addr().to_string();
+            let result = serve::run_load(&opts);
             server.stop();
             result.map_err(ArgError)?
         }
@@ -494,6 +532,7 @@ fn bench_serve(args: &Args) -> Result<(), ArgError> {
     println!("requests ok       : {}", report.requests);
     println!("decisions         : {}", report.decisions);
     println!("errors            : {}", report.errors);
+    println!("retries           : {}", report.retries);
     println!("elapsed           : {:.3} s", report.elapsed.as_secs_f64());
     println!("throughput        : {:.0} decisions/s", report.throughput());
     println!(
@@ -516,6 +555,157 @@ fn bench_serve(args: &Args) -> Result<(), ArgError> {
             )));
         }
     }
+    Ok(())
+}
+
+/// `resq bench chaos`: the closed-loop chaos tier. Stands the decision
+/// daemon up with a seeded fault schedule (worker panics, torn and
+/// byte-flipped responses, accept stalls, slow writers — plus
+/// deliberately slow client writes), drives it with the retrying load
+/// client, and gates on full recovery: every request eventually answers,
+/// every successful answer is byte-identical to a clean solve, no
+/// admission slot leaks, no panic escapes the worker pool. With
+/// `--addr` it drives an already-running daemon (started with the same
+/// `--chaos-spec`) instead of the in-process one.
+fn bench_chaos(args: &Args) -> Result<(), ArgError> {
+    let seed = args.u64_or("seed", 42)?;
+    let connections = args.u64_or("connections", 8)?.max(1) as usize;
+    let requests = args.u64_or("requests", 50)?.max(1) as usize;
+    let batch_size = args.u64_or("batch-size", 1)?.max(1) as usize;
+    let proto = match args.get("proto") {
+        None | Some("framed") => LoadProto::Framed,
+        Some("http") => LoadProto::Http,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "flag `--proto` expects one of {}, got `{other}`",
+                LOAD_PROTOS.join("|")
+            )))
+        }
+    };
+    let spec = args
+        .get("chaos-spec")
+        .map(String::from)
+        .unwrap_or_else(|| {
+            format!("seed={seed},panic=0.05,torn=0.1,flip=0.1,stall=0.03,slow=0.05")
+        });
+    let policy = Arc::new(
+        resq::obs::chaos::ChaosPolicy::parse(&spec)
+            .map_err(|e| ArgError(format!("flag `--chaos-spec`: {e}")))?,
+    );
+    // The same deterministic workload as `bench serve`: an in-grid
+    // exponential query, so every correct answer byte is known up front.
+    let lattice_spec = LatticeSpec::defaults(LawFamily::Exponential).with_points(5);
+    let lattice = resq::core::lattice::build(&lattice_spec)
+        .map_err(|e| ArgError(format!("cannot build the chaos lattice: {e}")))?;
+    let axes = lattice.axes();
+    let mut cache = SolveCache::new();
+    let query = (0..16)
+        .map(|k| {
+            let f = (k as f64 + 0.5) / 16.0;
+            let coords: Vec<f64> = axes.iter().map(|a| a.lo + f * (a.hi - a.lo)).collect();
+            lattice.query_for_coords(&coords, 29.0)
+        })
+        .find(|q| {
+            lattice
+                .query(q, &mut cache)
+                .map(|a| a.source == AnswerSource::Lattice)
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| ArgError("no served lattice query to drive the chaos load with".into()))?;
+    let body = serve::render_request(&query, Some(10.0));
+    // Every correct response byte, precomputed on a clean service over
+    // the identical (deterministic) lattice build — this also matches an
+    // external daemon started from the same artifact spec.
+    let clean = DecisionService::new(
+        vec![resq::core::lattice::build(&lattice_spec)
+            .map_err(|e| ArgError(format!("cannot rebuild the reference lattice: {e}")))?],
+        2,
+        8,
+    );
+    let expected = if batch_size > 1 {
+        let batch = format!("[{}]", vec![body.as_str(); batch_size].join(","));
+        clean.answer_batch(&batch)
+    } else {
+        clean.answer_single(&body)
+    }
+    .map_err(|e| ArgError(format!("reference solve failed: {}", e.message)))?;
+    // Injected worker panics are expected: capture them as greppable
+    // recovery lines instead of the default `panicked at` output.
+    resq::obs::chaos::install_panic_capture_hook();
+    let mut opts = LoadOptions::new(String::new(), proto, body);
+    opts.connections = connections;
+    opts.requests = requests;
+    opts.batch_size = batch_size;
+    // A generous retry budget is the point: the gate below asserts that
+    // under a fault schedule every request *eventually* lands clean.
+    opts.max_attempts = 40;
+    opts.backoff_ms = 2;
+    opts.deadline = Some(std::time::Duration::from_secs(120));
+    opts.expect_body = Some(expected);
+    opts.slow_every = 7;
+    opts.seed = seed;
+    let before = resq::obs::metrics::Snapshot::capture();
+    eprintln!("chaos spec        : {}", policy.describe());
+    let (report, leaked) = match args.get("addr") {
+        Some(addr) => {
+            opts.addr = addr.to_string();
+            (serve::run_load(&opts).map_err(ArgError)?, None)
+        }
+        None => {
+            let service = Arc::new(DecisionService::new(
+                vec![lattice],
+                8,
+                (connections * 2).max(64),
+            ));
+            let mut cfg = http::ServerConfig::new("127.0.0.1:0");
+            cfg.workers = 4;
+            cfg.queue_depth = 64;
+            cfg.chaos = Some(Arc::clone(&policy));
+            let server = match proto {
+                LoadProto::Http => http::serve_with(cfg, serve::http_handler(Arc::clone(&service))),
+                LoadProto::Framed => {
+                    http::serve_framed(cfg, serve::frame_handler(Arc::clone(&service)))
+                }
+            }
+            .map_err(|e| ArgError(format!("cannot bind the in-process chaos daemon: {e}")))?;
+            opts.addr = server.local_addr().to_string();
+            let result = serve::run_load(&opts);
+            server.stop();
+            (result.map_err(ArgError)?, Some(service.inflight()))
+        }
+    };
+    let delta = resq::obs::metrics::Snapshot::capture().delta(&before);
+    println!("connections       : {}", report.connections);
+    println!("requests ok       : {}", report.requests);
+    println!("errors            : {}", report.errors);
+    println!("retries           : {}", report.retries);
+    println!("corrupt detected  : {}", report.corrupt);
+    println!("workers restarted : {}", delta.counter("workers_restarted_total"));
+    println!("faulted conns     : {} planned", policy.connections_planned());
+    if let Some(inflight) = leaked {
+        println!("in-flight at exit : {inflight}");
+        if inflight != 0 {
+            return Err(ArgError(format!(
+                "chaos run leaked {inflight} admission slot(s)"
+            )));
+        }
+    }
+    if report.errors > 0 {
+        return Err(ArgError(format!(
+            "chaos run failed: {} request(s) never recovered (seed {seed})",
+            report.errors
+        )));
+    }
+    let target = (connections * requests) as u64;
+    if report.requests != target {
+        return Err(ArgError(format!(
+            "chaos run incomplete: {}/{} requests answered (seed {seed})",
+            report.requests, target
+        )));
+    }
+    println!(
+        "chaos run clean   : {target} requests recovered byte-identical under seed {seed}"
+    );
     Ok(())
 }
 

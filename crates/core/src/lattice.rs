@@ -1113,9 +1113,13 @@ impl PolicyLattice {
 
     /// Writes the artifact plus its provenance manifest sidecar
     /// (`lattice_X.json` → `lattice_X.manifest.json`, via
-    /// [`RunManifest`]); returns the sidecar path.
+    /// [`RunManifest`]); returns the sidecar path. The artifact lands
+    /// atomically ([`resq_obs::write_atomic`]): a builder killed
+    /// mid-write — say, by a reservation expiring — leaves either the
+    /// previous complete lattice or the new one, never a torn file that
+    /// would quarantine on the next load.
     pub fn save(&self, path: &Path) -> std::io::Result<PathBuf> {
-        std::fs::write(path, self.to_json())?;
+        resq_obs::write_atomic(path, self.to_json().as_bytes())?;
         let mut manifest = RunManifest::new("lattice/build")
             .config("format", FORMAT)
             .config("family", self.family.name())

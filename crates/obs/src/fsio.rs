@@ -1,0 +1,116 @@
+//! Crash-safe artifact writes: one shared write-then-rename helper for
+//! every results artifact the workspace produces (lattice JSON,
+//! manifest sidecars, bench CSVs, perf reports).
+//!
+//! A plain `std::fs::write` interrupted mid-write — a crash, an OOM
+//! kill, a reservation expiring under the builder — leaves a torn file
+//! at the final path. For fingerprinted artifacts that surfaces later
+//! as a confusing `Fingerprint` mismatch on load; for CSVs it surfaces
+//! as silently truncated data. [`write_atomic`] closes that window: the
+//! bytes land in a same-directory temporary file first, are fsynced,
+//! and only then renamed over the destination (rename within one
+//! directory is atomic on POSIX filesystems). Readers observe either
+//! the complete old file or the complete new file, never a prefix.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator so concurrent writers (threads racing on the
+/// same artifact) never share a temporary file.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The temporary-file path used for `path`: same directory (so the
+/// rename cannot cross filesystems), dot-prefixed name so directory
+/// listings and artifact globs skip it.
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let tag = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    path.with_file_name(format!(".{name}.tmp.{pid}.{tag}"))
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, `fsync`, rename over the destination. A crash at any
+/// point leaves either the previous complete file or the new complete
+/// file — never a torn one. The stray temp file a crash may leave
+/// behind is dot-prefixed and ignored by artifact loaders.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path_for(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Durability before visibility: the rename must not be able to
+        // publish a file whose bytes are still in flight.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the error from the write/rename wins.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resq-fsio-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("a.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let path = scratch("b.json");
+        write_atomic(&path, b"payload").unwrap();
+        let dir = path.parent().unwrap();
+        let strays: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("b.json.tmp"))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_error_not_a_panic() {
+        let path = scratch("no-such-dir").join("x.json");
+        assert!(write_atomic(&path, b"x").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_leave_a_complete_file() {
+        let path = scratch("c.json");
+        let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![b'a' + i; 4096]).collect();
+        std::thread::scope(|s| {
+            for p in &payloads {
+                let path = path.clone();
+                s.spawn(move || write_atomic(&path, p).unwrap());
+            }
+        });
+        let got = std::fs::read(&path).unwrap();
+        assert!(
+            payloads.contains(&got),
+            "file is not any single writer's complete payload"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

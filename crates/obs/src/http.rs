@@ -52,8 +52,11 @@
 //! | `/spans` | span hierarchy + quantiles, process-wide and per run |
 //! | `/runs` | the live [`RunRegistry`]: id, config echo, progress, state |
 
+use crate::chaos::{ChaosPolicy, ConnFaults, STALL_MILLIS};
 use crate::json::write_escaped;
-use crate::metrics::{self, Snapshot, HTTP_ERRORS_TOTAL, HTTP_REQUESTS_TOTAL};
+use crate::metrics::{
+    self, Snapshot, HTTP_ERRORS_TOTAL, HTTP_REQUESTS_TOTAL, WORKERS_RESTARTED_TOTAL,
+};
 use crate::span::{self, SpanStats};
 use crate::tracectx::RunRegistry;
 use std::io::{self, Read, Write};
@@ -65,8 +68,20 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Every path the telemetry plane answers, sorted; anything else is
-/// `404`.
-pub const ENDPOINTS: &[&str] = &["/healthz", "/metrics", "/metrics.json", "/runs", "/spans"];
+/// `404`. `/healthz` is the liveness probe (plain `ok`, with
+/// `/healthz/live` as its explicit alias); `/healthz/ready` is the
+/// readiness probe — a JSON payload carrying degraded/quarantine state
+/// and drain status (the decision daemon overrides it with its own
+/// per-family view).
+pub const ENDPOINTS: &[&str] = &[
+    "/healthz",
+    "/healthz/live",
+    "/healthz/ready",
+    "/metrics",
+    "/metrics.json",
+    "/runs",
+    "/spans",
+];
 
 /// Tunables for [`serve`]/[`serve_with`]/[`serve_framed`];
 /// [`ServerConfig::new`] gives the production defaults (tests shrink the
@@ -98,6 +113,11 @@ pub struct ServerConfig {
     /// Accepted connections queued ahead of the workers; overflow is
     /// shed from the accept thread (`503` + `Retry-After`).
     pub queue_depth: usize,
+    /// Optional deterministic fault injection (chaos testing): each
+    /// accepted connection draws a seeded [`ConnFaults`] plan. `None`
+    /// (the production default) costs one branch per connection and
+    /// nothing per request.
+    pub chaos: Option<Arc<ChaosPolicy>>,
 }
 
 impl ServerConfig {
@@ -112,6 +132,7 @@ impl ServerConfig {
             max_keepalive_requests: 100_000,
             workers: 2,
             queue_depth: 16,
+            chaos: None,
         }
     }
 }
@@ -253,6 +274,46 @@ pub fn clear_stop_request() {
     STOP_REQUESTED.store(false, Ordering::Relaxed);
 }
 
+/// Process-wide hot-reload flag flipped by SIGHUP (see
+/// [`install_reload_signal_handler`]): the decision daemon polls it and
+/// re-reads its lattice artifacts without dropping a connection.
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGHUP handler that makes [`take_reload_request`] return
+/// true (once). Same hand-rolled `signal(2)` binding as
+/// [`install_stop_signal_handlers`]; installing a handler also stops
+/// SIGHUP's default action (terminate) from killing the daemon.
+/// Idempotent.
+#[cfg(unix)]
+pub fn install_reload_signal_handler() {
+    extern "C" fn on_reload(_sig: i32) {
+        RELOAD_REQUESTED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(1, on_reload as *const () as usize); // SIGHUP
+    }
+}
+
+/// Non-unix fallback: no handler (the flag still works via
+/// [`request_reload`]).
+#[cfg(not(unix))]
+pub fn install_reload_signal_handler() {}
+
+/// Consumes a pending reload request (signal or [`request_reload`]);
+/// returns whether one was pending. Swap semantics: each request is
+/// observed exactly once.
+pub fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::Relaxed)
+}
+
+/// Requests a hot reload programmatically (tests; in-process paths).
+pub fn request_reload() {
+    RELOAD_REQUESTED.store(true, Ordering::Relaxed);
+}
+
 // ---------------------------------------------------------------------
 // Server core: one accept loop + worker pool, shared by every protocol.
 // ---------------------------------------------------------------------
@@ -310,8 +371,9 @@ impl Drop for Server {
 
 /// Per-connection protocol driver: owns the accepted stream until the
 /// connection closes. The stop flag tells it to finish the request in
-/// flight and close.
-type ConnFn = Arc<dyn Fn(TcpStream, &ServerConfig, &AtomicBool) + Send + Sync>;
+/// flight and close; the [`ConnFaults`] plan (all-off outside chaos
+/// runs) tells it which deterministic faults to inject.
+type ConnFn = Arc<dyn Fn(TcpStream, &ServerConfig, &AtomicBool, ConnFaults) + Send + Sync>;
 
 /// Load-shed responder: called from the accept thread when the worker
 /// queue is full, must answer cheaply and close.
@@ -326,7 +388,7 @@ fn serve_core(config: ServerConfig, conn: ConnFn, shed: ShedFn) -> io::Result<Se
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let (tx, rx) = sync_channel::<(TcpStream, ConnFaults)>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let mut workers = Vec::new();
@@ -353,7 +415,19 @@ fn serve_core(config: ServerConfig, conn: ConnFn, shed: ShedFn) -> io::Result<Se
             while !accept_stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
+                        let faults = match &accept_cfg.chaos {
+                            Some(policy) => policy.plan(),
+                            None => ConnFaults::default(),
+                        };
+                        if faults.stall_accept {
+                            // An injected accept stall: everything
+                            // behind this connection queues (or sheds),
+                            // exercising the backpressure path.
+                            std::thread::sleep(Duration::from_millis(STALL_MILLIS));
+                        }
+                        if let Err(TrySendError::Full((stream, _))) =
+                            tx.try_send((stream, faults))
+                        {
                             // Bounded queue is the backpressure valve:
                             // shed load loudly instead of queueing
                             // without limit.
@@ -380,7 +454,7 @@ fn serve_core(config: ServerConfig, conn: ConnFn, shed: ShedFn) -> io::Result<Se
 }
 
 fn worker_loop(
-    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    rx: &Arc<Mutex<Receiver<(TcpStream, ConnFaults)>>>,
     config: &ServerConfig,
     stop: &AtomicBool,
     conn: &ConnFn,
@@ -389,12 +463,30 @@ fn worker_loop(
         // Holding the lock while blocked in recv is fine: sibling
         // workers queue on the mutex and get the next connection in
         // turn; sender drop wakes the holder, which exits and releases.
-        let stream = {
-            let guard = rx.lock().expect("http worker queue poisoned");
+        // A poisoned queue mutex (a sibling died mid-recv) is recovered,
+        // not propagated: the receiver itself holds no torn state.
+        let received = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             guard.recv()
         };
-        match stream {
-            Ok(stream) => conn(stream, config, stop),
+        match received {
+            Ok((stream, faults)) => {
+                // Supervision: a panicking connection handler (a bug, or
+                // an injected chaos panic) must cost at most its own
+                // connection — never the worker slot. The catch is the
+                // respawn point: the slot goes straight back to serving.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    conn(stream, config, stop, faults)
+                }));
+                if outcome.is_err() {
+                    WORKERS_RESTARTED_TOTAL.inc();
+                    eprintln!(
+                        "worker recovered from worker panic; slot respawned \
+                         (workers_restarted_total={})",
+                        WORKERS_RESTARTED_TOTAL.get()
+                    );
+                }
+            }
             Err(_) => return, // accept loop gone: shutdown
         }
     }
@@ -416,8 +508,8 @@ pub fn serve(config: ServerConfig) -> io::Result<Server> {
 /// errors (malformed request line, oversized head/body, slowloris) are
 /// answered by the core before the handler is consulted.
 pub fn serve_with(config: ServerConfig, handler: Handler) -> io::Result<Server> {
-    let conn: ConnFn = Arc::new(move |stream, cfg, stop| {
-        handle_http_connection(stream, cfg, stop, &handler);
+    let conn: ConnFn = Arc::new(move |stream, cfg, stop, faults| {
+        handle_http_connection(stream, cfg, stop, faults, &handler);
     });
     let shed: ShedFn = Arc::new(|stream, cfg| {
         HTTP_REQUESTS_TOTAL.inc();
@@ -538,8 +630,16 @@ fn handle_http_connection(
     mut stream: TcpStream,
     config: &ServerConfig,
     stop: &AtomicBool,
+    faults: ConnFaults,
     handler: &Handler,
 ) {
+    if faults.panic_worker {
+        // Injected before any byte is read: the worker pool's
+        // catch_unwind turns this into a counted slot respawn and the
+        // client sees a clean connection drop (the stream closes on
+        // unwind).
+        panic!("chaos: injected worker panic");
+    }
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut carry: Vec<u8> = Vec::new();
@@ -630,7 +730,22 @@ fn handle_http_connection(
         let close = client_close
             || stop.load(Ordering::SeqCst)
             || served >= config.max_keepalive_requests;
-        write_response(&stream, &response, !close);
+        if faults.any_response_fault() {
+            let rendered = render_response(&response, !close);
+            // Faults target the body only: corrupting the head or the
+            // framing would wedge the client in a read timeout instead
+            // of handing it a detectable corruption to retry.
+            let body_start = rendered
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|p| p + 4)
+                .unwrap_or(rendered.len());
+            if !write_faulty(&stream, &rendered, faults, body_start) {
+                break; // torn write: the peer is mid-response, close
+            }
+        } else {
+            write_response(&stream, &response, !close);
+        }
         if close {
             break;
         }
@@ -638,7 +753,10 @@ fn handle_http_connection(
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool) {
+/// Renders the full wire bytes of a response (status line, headers,
+/// blank line, body) without writing them — the single source both the
+/// clean and the fault-injecting writers serialize from.
+fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
@@ -653,8 +771,52 @@ fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool)
     }
     out.push_str("\r\n");
     out.push_str(&response.body);
-    let _ = stream.write_all(out.as_bytes());
+    out.into_bytes()
+}
+
+fn write_response(mut stream: &TcpStream, response: &Response, keep_alive: bool) {
+    let _ = stream.write_all(&render_response(response, keep_alive));
     let _ = stream.flush();
+}
+
+/// Writes `bytes` with the connection's armed response faults applied:
+/// a byte flip lands strictly at or after `body_start` (never in the
+/// head or the length prefix, which would wedge the client in a read
+/// timeout instead of handing it detectable corruption); a torn write
+/// sends a prefix and reports the connection unusable; a slow write
+/// dribbles the bytes out in chunks. Returns whether the connection can
+/// keep serving.
+fn write_faulty(
+    mut stream: &TcpStream,
+    bytes: &[u8],
+    faults: ConnFaults,
+    body_start: usize,
+) -> bool {
+    let mut out = bytes.to_vec();
+    if faults.flip_byte && out.len() > body_start {
+        let idx = body_start + (out.len() - body_start) / 2;
+        out[idx] ^= 0x20;
+    }
+    if faults.torn_response {
+        let keep = (out.len() / 2).max(1.min(out.len()));
+        let _ = stream.write_all(&out[..keep]);
+        let _ = stream.flush();
+        return false;
+    }
+    if faults.slow_write {
+        let step = (out.len() / 6).max(1);
+        for chunk in out.chunks(step) {
+            if stream.write_all(chunk).is_err() {
+                return false;
+            }
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(STALL_MILLIS / 6));
+        }
+        return true;
+    }
+    let ok = stream.write_all(&out).is_ok();
+    let _ = stream.flush();
+    ok
 }
 
 /// The telemetry plane's request handler: GET-only (`405` + `Allow`
@@ -672,7 +834,14 @@ pub fn telemetry_response(request: &Request) -> Response {
         .with_header("Allow: GET");
     }
     match request.path.as_str() {
-        "/healthz" => Response::ok("text/plain; charset=utf-8", "ok\n"),
+        "/healthz" | "/healthz/live" => Response::ok("text/plain; charset=utf-8", "ok\n"),
+        "/healthz/ready" => Response::ok(
+            "application/json",
+            format!(
+                "{{\"status\":\"ok\",\"draining\":{}}}\n",
+                stop_requested()
+            ),
+        ),
         "/metrics" => {
             let snap = Snapshot::capture();
             let spans = span::global().snapshot();
@@ -750,8 +919,8 @@ pub fn decode_frame(buf: &[u8], max_len: usize) -> FrameDecode {
 /// and the connection closes; truncated frames close silently. Shares
 /// the accept-loop/worker implementation with the HTTP servers.
 pub fn serve_framed(config: ServerConfig, handler: FrameHandler) -> io::Result<Server> {
-    let conn: ConnFn = Arc::new(move |stream, cfg, stop| {
-        handle_framed_connection(stream, cfg, stop, &handler);
+    let conn: ConnFn = Arc::new(move |stream, cfg, stop, faults| {
+        handle_framed_connection(stream, cfg, stop, faults, &handler);
     });
     let shed: ShedFn = Arc::new(|mut stream, cfg| {
         let _ = stream.set_write_timeout(Some(cfg.write_timeout));
@@ -767,8 +936,14 @@ fn handle_framed_connection(
     mut stream: TcpStream,
     config: &ServerConfig,
     stop: &AtomicBool,
+    faults: ConnFaults,
     handler: &FrameHandler,
 ) {
+    if faults.panic_worker {
+        // See handle_http_connection: the supervised worker pool counts
+        // this and respawns the slot; the client gets a clean drop.
+        panic!("chaos: injected worker panic");
+    }
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut buf: Vec<u8> = Vec::new();
@@ -779,7 +954,16 @@ fn handle_framed_connection(
             FrameDecode::Complete { payload, consumed } => {
                 buf.drain(..consumed);
                 let response = handler(&payload);
-                if stream.write_all(&encode_frame(&response)).is_err() {
+                let frame = encode_frame(&response);
+                if faults.any_response_fault() {
+                    // Byte flips land in the payload (offset >= 4),
+                    // never the length prefix: a corrupted length would
+                    // wedge the client in a read timeout instead of
+                    // handing it detectable corruption.
+                    if !write_faulty(&stream, &frame, faults, 4.min(frame.len())) {
+                        break 'conn;
+                    }
+                } else if stream.write_all(&frame).is_err() {
                     break 'conn;
                 }
                 let _ = stream.flush();
@@ -1216,5 +1400,136 @@ mod tests {
         assert!(stop_requested());
         clear_stop_request();
         assert!(!stop_requested());
+    }
+
+    #[test]
+    fn reload_flag_has_take_once_semantics() {
+        assert!(!take_reload_request());
+        request_reload();
+        assert!(take_reload_request());
+        assert!(!take_reload_request(), "reload request observed twice");
+    }
+
+    #[test]
+    fn healthz_split_liveness_and_readiness() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let live = get(addr, "/healthz/live");
+        assert!(live.starts_with("HTTP/1.1 200 OK\r\n"), "{live}");
+        assert_eq!(body_of(&live), "ok\n");
+        let ready = get(addr, "/healthz/ready");
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "{ready}");
+        let parsed = json::parse(body_of(&ready)).expect("readiness parses");
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+        assert!(parsed.get("draining").is_some());
+        server.stop();
+    }
+
+    #[test]
+    fn injected_worker_panic_is_caught_counted_and_survivable() {
+        let mut cfg = test_config();
+        // Every connection panics its worker before reading a byte.
+        cfg.chaos = Some(Arc::new(ChaosPolicy::parse("seed=1,panic=1").unwrap()));
+        cfg.workers = 2;
+        let server = serve(cfg).expect("bind chaos server");
+        let addr = server.local_addr();
+        let before = WORKERS_RESTARTED_TOTAL.get();
+        for _ in 0..4 {
+            // The client just sees a dropped connection, never a hang.
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = Vec::new();
+            let _ = stream.read_to_end(&mut out);
+        }
+        // Workers were respawned, not lost: the counter moves once the
+        // pool has processed each doomed connection (poll — the client
+        // only observes the connection drop, not the worker's catch).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while WORKERS_RESTARTED_TOTAL.get() < before + 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            WORKERS_RESTARTED_TOTAL.get() >= before + 4,
+            "panic supervision did not count respawns"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn flip_byte_fault_corrupts_body_but_never_head() {
+        let mut cfg = test_config();
+        cfg.chaos = Some(Arc::new(ChaosPolicy::parse("seed=1,flip=1").unwrap()));
+        let server = serve(cfg).expect("bind chaos server");
+        let addr = server.local_addr();
+        let resp = get(addr, "/healthz");
+        // Head intact (parseable, correct Content-Length)…
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("Content-Length: 3\r\n"), "{resp}");
+        // …body corrupted: exactly what a checksumming client detects.
+        assert_ne!(body_of(&resp), "ok\n", "flip fault did not corrupt the body");
+        server.stop();
+    }
+
+    #[test]
+    fn torn_response_fault_truncates_and_closes() {
+        let mut cfg = test_config();
+        cfg.chaos = Some(Arc::new(ChaosPolicy::parse("seed=1,torn=1").unwrap()));
+        let server = serve(cfg).expect("bind chaos server");
+        let addr = server.local_addr();
+        let resp = get(addr, "/metrics");
+        // A strict prefix of a response: starts like HTTP but the body
+        // never completes (read_to_string returned at EOF).
+        assert!(resp.starts_with("HTTP/1.1 "), "{resp}");
+        let declared: Option<usize> = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok());
+        let got = body_of(&resp).len();
+        assert!(
+            declared.map_or(true, |want| got < want),
+            "torn fault delivered a complete response ({got} bytes)"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn framed_flip_fault_corrupts_payload_not_length_prefix() {
+        let handler: FrameHandler = Arc::new(|payload| {
+            let mut out = b"ack:".to_vec();
+            out.extend_from_slice(payload);
+            out
+        });
+        let mut cfg = test_config();
+        cfg.chaos = Some(Arc::new(ChaosPolicy::parse("seed=1,flip=1").unwrap()));
+        let server = serve_framed(cfg, handler).expect("bind framed");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&encode_frame(b"hello")).expect("send");
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf).expect("read length");
+        let len = u32::from_le_bytes(len_buf) as usize;
+        assert_eq!(len, 9, "length prefix was corrupted");
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).expect("read payload");
+        assert_ne!(&payload, b"ack:hello", "flip fault did not corrupt the payload");
+        server.stop();
+    }
+
+    #[test]
+    fn slow_write_fault_still_delivers_a_complete_response() {
+        let mut cfg = test_config();
+        cfg.chaos = Some(Arc::new(ChaosPolicy::parse("seed=1,slow=1").unwrap()));
+        let server = serve(cfg).expect("bind chaos server");
+        let addr = server.local_addr();
+        let resp = get(addr, "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert_eq!(body_of(&resp), "ok\n");
+        server.stop();
     }
 }

@@ -67,8 +67,10 @@
 
 pub mod json;
 
+pub mod chaos;
 pub mod chrometrace;
 mod event;
+pub mod fsio;
 pub mod http;
 mod manifest;
 pub mod metrics;
@@ -78,6 +80,7 @@ pub mod summarize;
 pub mod tracectx;
 
 pub use event::{event_type, Event};
+pub use fsio::write_atomic;
 pub use manifest::{git_rev, RunManifest};
 pub use sink::{JsonlSink, MemorySink, NullSink, RunSink};
 pub use span::{span_name, Span, SpanRegistry};

@@ -160,10 +160,11 @@ impl RunManifest {
     }
 
     /// Writes the manifest next to `artifact` and returns the sidecar
-    /// path.
+    /// path. Atomic ([`crate::fsio::write_atomic`]): a crash mid-write
+    /// cannot leave a torn sidecar next to a complete artifact.
     pub fn write_for(&self, artifact: &Path) -> io::Result<PathBuf> {
         let path = Self::sidecar_path(artifact);
-        std::fs::write(&path, self.to_json())?;
+        crate::fsio::write_atomic(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
 }

@@ -468,6 +468,30 @@ pub static DECIDE_REJECTED_TOTAL: Counter = Counter::new(
     "decision requests shed by the admission/backpressure policy",
 );
 
+/// Decisions that exceeded the service's per-request deadline and were
+/// answered with a typed `timeout` error instead of a (stale) result.
+pub static DECIDE_TIMEOUTS_TOTAL: Counter = Counter::new(
+    "decide_timeouts_total",
+    "decision requests answered with a typed timeout error past the per-request deadline",
+);
+
+/// Connection-worker recoveries: a handler panic was caught by the
+/// supervised pool (`catch_unwind` per connection) and the worker slot
+/// went back to serving instead of dying.
+pub static WORKERS_RESTARTED_TOTAL: Counter = Counter::new(
+    "workers_restarted_total",
+    "server worker slots respawned after a caught handler panic",
+);
+
+/// Lattice artifacts quarantined at load/reload time: the file was
+/// present but failed validation (torn JSON, fingerprint mismatch,
+/// malformed grid), so the family was flipped to exact-solver-only
+/// degraded mode instead of serving corrupt interpolations.
+pub static LATTICE_QUARANTINED_TOTAL: Counter = Counter::new(
+    "lattice_quarantined_total",
+    "policy-lattice artifacts rejected at (re)load and quarantined to exact-only mode",
+);
+
 /// Decisions currently being solved by the decision service (admitted,
 /// not yet answered) — the backpressure policy rejects new work when
 /// this reaches the configured cap.
@@ -505,6 +529,9 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &DECIDE_LATTICE_HITS_TOTAL,
     &DECIDE_FALLBACKS_TOTAL,
     &DECIDE_REJECTED_TOTAL,
+    &DECIDE_TIMEOUTS_TOTAL,
+    &WORKERS_RESTARTED_TOTAL,
+    &LATTICE_QUARANTINED_TOTAL,
 ];
 
 /// Every registered gauge, in display order.

@@ -136,7 +136,13 @@ fn every_documented_endpoint_serves_a_well_formed_payload() {
         );
         let body = body_of(&response);
         match *path {
-            "/healthz" => assert_eq!(body, "ok\n"),
+            "/healthz" | "/healthz/live" => assert_eq!(body, "ok\n"),
+            "/healthz/ready" => {
+                let doc = json::parse(body)
+                    .unwrap_or_else(|e| panic!("`{path}` body is not valid JSON: {e}"));
+                assert_eq!(doc.get("status").and_then(|s| s.as_str()), Some("ok"));
+                assert_eq!(doc.get("draining").and_then(|d| d.as_bool()), Some(false));
+            }
             "/metrics" => {
                 assert!(body.contains("# HELP "), "/metrics missing HELP lines");
                 assert!(body.contains("# TYPE "), "/metrics missing TYPE lines");
