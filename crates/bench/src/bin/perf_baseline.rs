@@ -59,7 +59,17 @@
 //!                               additionally gate `solve/*` entries against the
 //!                               committed baseline: >25% slower fails (full-mode
 //!                               reports only — smoke runs are schema+sanity)
+//! perf_baseline --scaling-smoke
+//!                               report-free multicore probe: batched threads_1
+//!                               vs threads_max must show a ≥1.5x speedup on
+//!                               multi-core hosts (single-core hosts skip)
 //! ```
+//!
+//! Exit codes: `0` every applicable gate ran and passed; `1` a gate or
+//! the schema failed; `2` usage error; `3` passed, but at least one
+//! gate was skipped (degraded entries, single-core host, or mode
+//! mismatch) — the consolidated skip notice lists which. `3` is a pass
+//! for CI purposes, distinguishable from the fully-gated `0`.
 //!
 //! Timings are wall-clock facts: like manifests, `BENCH_perf.json` is
 //! provenance and is *expected* to differ between machines and runs.
@@ -86,12 +96,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema identifier written into (and required of) every report.
-/// `v6`: adds the `serve_decide` decision-service entry (closed-loop
-/// framed load against an in-process daemon on the lattice path) to
-/// v5's layout (per-entry `degraded` honesty tag + `serve_scrape`;
-/// v4 added `solve/lattice_lookup`; v3 added per-entry `threads` and
-/// provenance `available_parallelism`).
-const SCHEMA: &str = "resq-perf-baseline/v6";
+/// `v7`: every `mc/threads_*` and `mc_batched/threads_*` entry carries a
+/// derived `parallel_efficiency` field — `(threads_1 time / entry time)
+/// / threads`, 1.0 for a perfectly scaling sweep point — and full-mode
+/// `--check` gains the Monte-Carlo throughput gate
+/// ([`MC_BATCHED_T1_LIMIT_NANOS`]) plus the multicore scaling gate
+/// ([`SCALING_SPEEDUP_MIN`], skipped with a notice on single-core
+/// hosts). v6 added `serve_decide`; v5 the `degraded` honesty tag +
+/// `serve_scrape`; v4 `solve/lattice_lookup`; v3 per-entry `threads`
+/// and provenance `available_parallelism`.
+const SCHEMA: &str = "resq-perf-baseline/v7";
 
 /// Full-mode gate on the decision daemon's lattice-path median
 /// round-trip: `serve_decide` `p50_nanos` must stay at or under 50 µs
@@ -103,6 +117,28 @@ const SERVE_DECIDE_P50_LIMIT_NANOS: f64 = 50_000.0;
 /// fails the full-mode gate: a 10 Hz scraper reading interference-free
 /// snapshots must cost under 5%.
 const SCRAPE_OVERHEAD_TOLERANCE: f64 = 0.05;
+
+/// Full-mode gate on single-core Monte-Carlo throughput: one
+/// `mc_batched/threads_1` iteration is a full 40 000-trial fig. 8 run,
+/// so 4 ms per iteration is 10⁷ workflow trials per second per core —
+/// the PR-10 throughput-engine floor (ziggurat Normal kernel,
+/// monomorphized batch paths, bulk-tallied stream derivation).
+const MC_BATCHED_T1_LIMIT_NANOS: f64 = 4_000_000.0;
+
+/// Full-mode gate on real multicore scaling: `mc_batched/threads_max`
+/// must run each iteration at least this much faster than
+/// `mc_batched/threads_1` when the host can actually run ≥ 2 workers
+/// (skipped with an honest notice otherwise — a single-core box cannot
+/// measure a speedup, and pretending otherwise is how flat sweeps went
+/// unnoticed before the `degraded` tag existed).
+const SCALING_SPEEDUP_MIN: f64 = 1.7;
+
+/// `--scaling-smoke` floor: a quick two-entry sweep on a multicore CI
+/// runner must show `mc_batched/threads_max` at least this much faster
+/// than `threads_1`. Looser than [`SCALING_SPEEDUP_MIN`] because shared
+/// runners throttle and co-schedule; still catches a serialized
+/// parallel path, which shows up as ≈ 1.0×.
+const SCALING_SMOKE_MIN: f64 = 1.5;
 
 /// Relative slowdown vs the committed baseline at which a tracked
 /// `solve/*` entry fails the `--baseline` regression gate. 25% is wide
@@ -127,6 +163,12 @@ struct Entry {
     p50_nanos: f64,
     p90_nanos: f64,
     p99_nanos: f64,
+    /// `(threads_1 nanos_per_iter / this nanos_per_iter) / threads` for
+    /// the Monte-Carlo thread-sweep entries (schema v7): 1.0 means the
+    /// sweep point scaled perfectly, ≈ `1/threads` means it didn't
+    /// scale at all. `None` (omitted from the JSON) for entries outside
+    /// the `mc*/threads_*` families.
+    parallel_efficiency: Option<f64>,
 }
 
 /// Times `iters` repetitions of `work`, each under a span in a fresh
@@ -165,6 +207,7 @@ fn time_entry(name: &str, iters: u64, threads: usize, mut work: impl FnMut()) ->
         p50_nanos: quantile(&durations, 0.50),
         p90_nanos: quantile(&durations, 0.90),
         p99_nanos: quantile(&durations, 0.99),
+        parallel_efficiency: None,
     }
 }
 
@@ -205,7 +248,11 @@ fn mc_entry(name: &str, threads: usize, trials: u64, smoke: bool, batched: bool)
         seed: 42,
         threads,
     };
-    time_entry(name, scaled(6, smoke), threads, || {
+    // 30 full-mode iterations: enough per-iteration samples that p90
+    // and p99 are *distinct* order statistics (at 6 iterations both
+    // quantiles interpolated between the same two top samples and the
+    // report showed p90 == p99 on every mc entry).
+    time_entry(name, scaled(30, smoke), threads, || {
         let s = if batched {
             run_trials_batched(cfg, &NullSink, 0, BatchScratch::new, |_, rng, scratch| {
                 sim.run_once_batched(&policy, rng, scratch).work_saved
@@ -324,6 +371,7 @@ fn serve_decide_entry(smoke: bool) -> Entry {
         p50_nanos: report.p50_nanos,
         p90_nanos: report.p90_nanos,
         p99_nanos: report.p99_nanos,
+        parallel_efficiency: None,
     }
 }
 
@@ -433,6 +481,24 @@ fn collect(smoke: bool) -> Vec<Entry> {
 
     entries.push(serve_decide_entry(smoke));
 
+    // Schema v7 derived metric: parallel efficiency of every
+    // thread-sweep point against its own family's `threads_1` run —
+    // recorded even for degraded entries (the tag says what to make of
+    // it) so flat sweeps are visible as numbers, not just by eyeballing
+    // nanos_per_iter columns.
+    for fam in ["mc", "mc_batched"] {
+        let base = entries
+            .iter()
+            .find(|e| e.name == format!("{fam}/threads_1"))
+            .map(|e| e.nanos_per_iter);
+        if let Some(base) = base {
+            let prefix = format!("{fam}/threads_");
+            for e in entries.iter_mut().filter(|e| e.name.starts_with(&prefix)) {
+                e.parallel_efficiency = Some((base / e.nanos_per_iter) / e.threads as f64);
+            }
+        }
+    }
+
     entries
 }
 
@@ -450,10 +516,14 @@ fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
         row.push_str(&format!(
             ", \"iters\": {}, \"threads\": {}, \"degraded\": {}, \"total_nanos\": {}, \
              \"nanos_per_iter\": {:.1}, \"p50_nanos\": {:.1}, \"p90_nanos\": {:.1}, \
-             \"p99_nanos\": {:.1}}}",
+             \"p99_nanos\": {:.1}",
             e.iters, e.threads, e.degraded, e.total_nanos, e.nanos_per_iter, e.p50_nanos,
             e.p90_nanos, e.p99_nanos
         ));
+        if let Some(pe) = e.parallel_efficiency {
+            row.push_str(&format!(", \"parallel_efficiency\": {pe:.4}"));
+        }
+        row.push('}');
         if i + 1 < entries.len() {
             row.push(',');
         }
@@ -478,11 +548,12 @@ fn render(entries: &[Entry], mode: &str, wall_time_secs: f64) -> String {
     out
 }
 
-/// Parses a report and returns `(mode, entries)` after validating the
-/// schema: tag, per-entry numeric fields (including v3's `threads`),
-/// v5's boolean `degraded`, and the provenance block with
-/// `available_parallelism`.
-fn load_report(path: &str) -> Result<(String, Vec<json::JsonValue>), String> {
+/// Parses a report and returns `(mode, available_parallelism, entries)`
+/// after validating the schema: tag, per-entry numeric fields
+/// (including v3's `threads` and v7's `parallel_efficiency` on the
+/// thread-sweep entries), v5's boolean `degraded`, and the provenance
+/// block with `available_parallelism`.
+fn load_report(path: &str) -> Result<(String, u64, Vec<json::JsonValue>), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let root = json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
@@ -524,6 +595,20 @@ fn load_report(path: &str) -> Result<(String, Vec<json::JsonValue>), String> {
         if e.get("degraded").and_then(|v| v.as_bool()).is_none() {
             return Err(format!("entry `{name}` missing boolean `degraded`"));
         }
+        // v7: the Monte-Carlo thread-sweep entries must carry the
+        // derived efficiency (other entries must not need it, so it
+        // stays optional for them).
+        if name.starts_with("mc/threads_") || name.starts_with("mc_batched/threads_") {
+            let pe = e
+                .get("parallel_efficiency")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| {
+                    format!("entry `{name}` missing numeric `parallel_efficiency` (schema v7)")
+                })?;
+            if !pe.is_finite() || pe <= 0.0 {
+                return Err(format!("entry `{name}` has non-positive `parallel_efficiency`"));
+            }
+        }
         if e.get("iters").and_then(|v| v.as_u64()) == Some(0) {
             return Err(format!("entry `{name}` ran zero iterations"));
         }
@@ -539,7 +624,8 @@ fn load_report(path: &str) -> Result<(String, Vec<json::JsonValue>), String> {
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("provenance missing `{key}`"))?;
     }
-    prov.get("available_parallelism")
+    let avail = prov
+        .get("available_parallelism")
         .and_then(|v| v.as_u64())
         .ok_or("provenance missing `available_parallelism`")?;
     if prov.get("git_rev").is_none() {
@@ -550,7 +636,7 @@ fn load_report(path: &str) -> Result<(String, Vec<json::JsonValue>), String> {
         .and_then(|v| v.as_str())
         .unwrap_or("unknown")
         .to_string();
-    Ok((mode, entries.clone()))
+    Ok((mode, avail, entries.clone()))
 }
 
 /// Looks up `nanos_per_iter` for a named entry.
@@ -559,6 +645,18 @@ fn per_iter(entries: &[json::JsonValue], wanted: &str) -> Option<f64> {
         .iter()
         .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
         .and_then(|e| e.get("nanos_per_iter").and_then(|v| v.as_f64()))
+}
+
+/// Looks up `p50_nanos` for a named entry. The throughput and scaling
+/// gates read the median rather than the mean: on a busy or single-core
+/// host a handful of preempted iterations inflate the mean by 10%+
+/// (visible as p99 ≫ p50), and the gates should measure the code, not
+/// the scheduler.
+fn p50_of(entries: &[json::JsonValue], wanted: &str) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(wanted))
+        .and_then(|e| e.get("p50_nanos").and_then(|v| v.as_f64()))
 }
 
 /// Whether a named entry carries the `degraded` honesty tag. Absent
@@ -575,8 +673,16 @@ fn is_degraded(entries: &[json::JsonValue], wanted: &str) -> bool {
 /// and (optionally) the solver regression gate against a committed
 /// baseline report. The CI smoke gate runs this on both the smoke report
 /// and the committed `BENCH_perf.json`.
-fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
-    let (mode, entries) = load_report(path)?;
+///
+/// Returns the list of gates that were *skipped* (degraded entries,
+/// single-core hosts, mode mismatches) so the caller can distinguish a
+/// fully-gated pass (exit 0) from a passed-with-skips run (exit 3) —
+/// before v7 the skip notices scrolled past individually and a report
+/// that skipped every speedup gate exited identically to one that
+/// proved them all.
+fn check(path: &str, baseline: Option<&str>) -> Result<Vec<String>, String> {
+    let mut skips: Vec<String> = Vec::new();
+    let (mode, avail, entries) = load_report(path)?;
     // Full-mode reports must show the batched fast path actually paying
     // for itself on the single-threaded sweep. Smoke runs are too short
     // and noisy for a speed assertion, so only the schema is checked.
@@ -587,14 +693,64 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
             .ok_or("full-mode report missing `mc_batched/threads_1`")?;
         if is_degraded(&entries, "mc/threads_1") || is_degraded(&entries, "mc_batched/threads_1")
         {
-            println!(
-                "  gate batched-vs-scalar skipped: a single-threaded entry is tagged degraded"
+            skips.push(
+                "batched-vs-scalar: a single-threaded entry is tagged degraded".to_string(),
             );
         } else if batched >= scalar {
             return Err(format!(
                 "mc_batched/threads_1 ({batched:.1} ns/iter) is not faster than \
                  mc/threads_1 ({scalar:.1} ns/iter)"
             ));
+        }
+        // Single-core throughput gate (v7): one batched iteration is a
+        // full 40 000-trial run, so the 4 ms/iter ceiling is the
+        // 10⁷ trials/sec/core floor. Gated on the *median* iteration
+        // (see `p50_of`). `threads_1` can never exceed the host's
+        // parallelism, so there is no degraded skip here — a full-mode
+        // report that misses this floor fails on any host.
+        let batched_p50 = p50_of(&entries, "mc_batched/threads_1")
+            .ok_or("full-mode report missing `mc_batched/threads_1` p50")?;
+        if batched_p50 > MC_BATCHED_T1_LIMIT_NANOS {
+            return Err(format!(
+                "mc_batched/threads_1 p50 at {batched_p50:.1} ns/iter misses the \
+                 {MC_BATCHED_T1_LIMIT_NANOS:.0} ns/iter (10⁷ trials/sec/core) \
+                 throughput gate"
+            ));
+        }
+        println!(
+            "  gate mc-throughput: mc_batched/threads_1 p50 {batched_p50:.1} ns/iter \
+             (limit {MC_BATCHED_T1_LIMIT_NANOS:.0}) ok"
+        );
+        // Multicore scaling gate (v7): when the host can really run two
+        // or more workers, the batched sweep must show an actual
+        // speedup — threads_max at least SCALING_SPEEDUP_MIN times
+        // faster per median iteration than threads_1. A single-core
+        // host cannot measure this; it is skipped honestly, not waved
+        // through.
+        let tmax_p50 = p50_of(&entries, "mc_batched/threads_max")
+            .ok_or("full-mode report missing `mc_batched/threads_max`")?;
+        if avail < 2 {
+            skips.push(format!(
+                "mc-scaling: host reports available_parallelism = {avail}, \
+                 cannot measure a multicore speedup"
+            ));
+        } else if is_degraded(&entries, "mc_batched/threads_max") {
+            skips.push(
+                "mc-scaling: `mc_batched/threads_max` is tagged degraded".to_string(),
+            );
+        } else {
+            let speedup = batched_p50 / tmax_p50;
+            if speedup < SCALING_SPEEDUP_MIN {
+                return Err(format!(
+                    "mc_batched/threads_max p50 speedup {speedup:.2}x over threads_1 \
+                     is under the {SCALING_SPEEDUP_MIN}x multicore scaling gate \
+                     (threads_1 {batched_p50:.1} ns/iter, threads_max {tmax_p50:.1})"
+                ));
+            }
+            println!(
+                "  gate mc-scaling: {speedup:.2}x p50 speedup at threads_max \
+                 (floor {SCALING_SPEEDUP_MIN}x) ok"
+            );
         }
         // Live-telemetry overhead gate: a 10 Hz scraper against the
         // interference-free snapshot endpoints must not slow the
@@ -606,9 +762,10 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
             if is_degraded(&entries, "serve_scrape")
                 || is_degraded(&entries, "mc_batched/threads_1")
             {
-                println!(
-                    "  gate serve_scrape skipped: entry tagged degraded \
-                     (host cannot time scraper + workload honestly)"
+                skips.push(
+                    "serve_scrape: entry tagged degraded (host cannot time \
+                     scraper + workload honestly)"
+                        .to_string(),
                 );
             } else {
                 let limit = batched * (1.0 + SCRAPE_OVERHEAD_TOLERANCE);
@@ -641,9 +798,10 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
             .and_then(|e| e.get("p50_nanos").and_then(|v| v.as_f64()));
         if let Some(p50) = p50 {
             if is_degraded(&entries, "serve_decide") {
-                println!(
-                    "  gate serve_decide skipped: entry tagged degraded \
-                     (client and daemon share one core)"
+                skips.push(
+                    "serve_decide: entry tagged degraded (client and daemon \
+                     share one core)"
+                        .to_string(),
                 );
             } else if p50 > SERVE_DECIDE_P50_LIMIT_NANOS {
                 return Err(format!(
@@ -666,7 +824,7 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
     // reports are full-mode (smoke iteration counts are noise) — a
     // smoke-mode fresh report gets schema+sanity only, by design.
     if let Some(base_path) = baseline {
-        let (base_mode, base_entries) = load_report(base_path)?;
+        let (base_mode, _base_avail, base_entries) = load_report(base_path)?;
         if mode == "full" && base_mode == "full" {
             for e in &entries {
                 let Some(name) = e.get("name").and_then(|n| n.as_str()) else {
@@ -685,7 +843,7 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
                     continue;
                 };
                 if is_degraded(&entries, name) || is_degraded(&base_entries, name) {
-                    println!("  gate `{name}` skipped: entry tagged degraded");
+                    skips.push(format!("regression `{name}`: entry tagged degraded"));
                     continue;
                 }
                 let limit = base * (1.0 + SOLVER_REGRESSION_TOLERANCE);
@@ -703,14 +861,48 @@ fn check(path: &str, baseline: Option<&str>) -> Result<(), String> {
                 );
             }
         } else {
-            println!(
-                "  regression gate skipped: needs two full-mode reports \
+            skips.push(format!(
+                "regression: needs two full-mode reports \
                  (fresh `{mode}`, baseline `{base_mode}`)"
-            );
+            ));
         }
     }
     println!("{path}: ok ({} entries)", entries.len());
-    Ok(())
+    Ok(skips)
+}
+
+/// `--scaling-smoke`: a report-free two-entry scaling probe for CI — no
+/// cargo-bench machinery, no JSON, just the batched fig. 8 workload at
+/// `threads_1` and `threads_max` and the [`SCALING_SMOKE_MIN`] floor on
+/// the speedup. Exit 0 = speedup proven, 1 = multicore host failed the
+/// floor, 3 = single-core host, honestly skipped (CI legs treat 3 as
+/// pass-with-notice, same convention as `--check`).
+fn scaling_smoke() -> i32 {
+    let n = host_parallelism();
+    println!("scaling smoke: available_parallelism = {n}");
+    if n < 2 {
+        println!(
+            "scaling smoke skipped: a single-core host cannot measure a \
+             multicore speedup (exit 3 = passed with skips)"
+        );
+        return 3;
+    }
+    let t1 = mc_entry("mc_batched/threads_1", 1, 40_000, false, true);
+    let tmax = mc_entry("mc_batched/threads_max", n, 40_000, false, true);
+    let speedup = t1.p50_nanos / tmax.p50_nanos;
+    println!(
+        "scaling smoke: threads_1 p50 {:.1} ns/iter, threads_{} p50 {:.1} ns/iter \
+         -> {speedup:.2}x (floor {SCALING_SMOKE_MIN}x)",
+        t1.p50_nanos, n, tmax.p50_nanos
+    );
+    if speedup < SCALING_SMOKE_MIN {
+        eprintln!(
+            "scaling smoke failed: {speedup:.2}x is under the \
+             {SCALING_SMOKE_MIN}x floor on a {n}-core host"
+        );
+        return 1;
+    }
+    0
 }
 
 fn main() {
@@ -719,6 +911,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut run_scaling_smoke = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -726,22 +919,39 @@ fn main() {
             "--out" => out_path = it.next().cloned(),
             "--check" => check_path = it.next().cloned(),
             "--baseline" => baseline_path = it.next().cloned(),
+            "--scaling-smoke" => run_scaling_smoke = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf_baseline [--smoke] [--out <path>] \
-                     [--check <path> [--baseline <path>]]"
+                     [--check <path> [--baseline <path>]] [--scaling-smoke]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if run_scaling_smoke {
+        std::process::exit(scaling_smoke());
+    }
     if let Some(path) = check_path {
-        if let Err(e) = check(&path, baseline_path.as_deref()) {
-            eprintln!("perf report check failed: {e}");
-            std::process::exit(1);
+        match check(&path, baseline_path.as_deref()) {
+            Err(e) => {
+                eprintln!("perf report check failed: {e}");
+                std::process::exit(1);
+            }
+            Ok(skips) if !skips.is_empty() => {
+                // One consolidated notice instead of scattered lines:
+                // the run passed every gate the host could measure, and
+                // exit 3 tells automation it was not a fully-gated pass.
+                println!("passed with {} skipped gate(s):", skips.len());
+                for s in &skips {
+                    println!("  - {s}");
+                }
+                println!("exit 3: passed-with-skips (0 = all gates ran and passed)");
+                std::process::exit(3);
+            }
+            Ok(_) => return,
         }
-        return;
     }
     let start = Instant::now();
     let entries = collect(smoke);

@@ -52,17 +52,26 @@ where
     }))
 }
 
-/// Multi-producer multi-consumer channels (the `unbounded` flavor only).
+/// Multi-producer multi-consumer channels (the `unbounded` and `bounded`
+/// flavors).
 pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
 
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
     /// Sending half; cloneable.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(SenderKind<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            })
         }
     }
 
@@ -89,9 +98,19 @@ pub mod channel {
     impl std::error::Error for RecvError {}
 
     impl<T> Sender<T> {
-        /// Enqueues a message; errors only if every receiver is gone.
+        /// Enqueues a message; errors only if every receiver is gone. On a
+        /// [`bounded`] channel this blocks while the queue is full — the
+        /// backpressure the streaming Monte-Carlo merge relies on to keep
+        /// its reorder window O(threads).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderKind::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
         }
     }
 
@@ -119,7 +138,20 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        (
+            Sender(SenderKind::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Creates a bounded channel of capacity `cap`; `send` blocks while
+    /// the queue holds `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender(SenderKind::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
     }
 }
 
@@ -160,6 +192,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total.into_inner(), (1..=100).sum::<usize>());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_and_drains() {
+        let (tx, rx) = super::channel::bounded::<usize>(2);
+        let sent = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            let tx2 = tx.clone();
+            let sent = &sent;
+            s.spawn(move |_| {
+                for i in 0..50 {
+                    tx2.send(i).unwrap();
+                    sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        })
+        .unwrap();
+        assert_eq!(sent.into_inner(), 50);
     }
 
     #[test]

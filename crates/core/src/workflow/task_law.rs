@@ -90,6 +90,23 @@ pub trait TaskDuration {
             *slot = self.draw(rng);
         }
     }
+
+    /// Monomorphized counterpart of [`TaskDuration::draw_batch`]: same
+    /// distribution, same RNG stream consumption, but generic over the
+    /// generator so the Monte-Carlo hot path (which holds a concrete
+    /// per-trial RNG) gets a fully inlined sampling kernel instead of a
+    /// virtual call per block. Excluded from the vtable via
+    /// `Self: Sized`, keeping the trait object-safe; the default
+    /// delegates to [`TaskDuration::draw_batch`], and law impls forward
+    /// to `Sample::sample_batch_mono`.
+    #[inline]
+    fn draw_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64])
+    where
+        Self: Sized,
+    {
+        let mut rng = rng;
+        self.draw_batch(&mut rng, out)
+    }
 }
 
 /// `E[W_{+1}]` by quadrature against any continuous task density — the
@@ -263,6 +280,10 @@ macro_rules! impl_continuous_task {
             fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
                 self.sample_batch(rng, out)
             }
+            #[inline]
+            fn draw_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+                self.sample_batch_mono(rng, out)
+            }
         }
     )+};
 }
@@ -316,6 +337,11 @@ impl<D: Continuous + Sample> TaskDuration for resq_dist::Truncated<D> {
 
     fn draw_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
         self.sample_batch(rng, out)
+    }
+
+    #[inline]
+    fn draw_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        self.sample_batch_mono(rng, out)
     }
 }
 

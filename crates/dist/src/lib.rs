@@ -46,6 +46,7 @@ pub mod triangular;
 pub mod truncated;
 pub mod uniform;
 pub mod weibull;
+pub(crate) mod ziggurat;
 
 pub use beta::Beta;
 pub use constant::Constant;

@@ -111,18 +111,20 @@ impl Sample for LogNormal {
         (self.mu + self.sigma * standard_normal(rng)).exp()
     }
 
-    /// Polar-pair batch kernel (both variates of each accepted polar
-    /// point are used). Not draw-order preserving — see
-    /// [`crate::Normal`]'s batch override.
+    /// Ziggurat batch kernel, draw-order preserving: bit-identical to
+    /// `out.len()` scalar [`Sample::sample`] calls on the same stream —
+    /// see [`crate::Normal`]'s batch override.
     fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
-        let mut chunks = out.chunks_exact_mut(2);
-        for pair in &mut chunks {
-            let (z0, z1) = crate::normal::standard_normal_pair(rng);
-            pair[0] = (self.mu + self.sigma * z0).exp();
-            pair[1] = (self.mu + self.sigma * z1).exp();
-        }
-        for slot in chunks.into_remainder() {
-            *slot = (self.mu + self.sigma * standard_normal(rng)).exp();
+        self.sample_batch_mono(rng, out)
+    }
+
+    /// Monomorphized ziggurat batch kernel — same stream consumption as
+    /// [`Sample::sample_batch`], fully inlined for concrete RNGs.
+    #[inline]
+    fn sample_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        crate::ziggurat::fill_standard_normal(rng, out);
+        for slot in out.iter_mut() {
+            *slot = (self.mu + self.sigma * *slot).exp();
         }
     }
 }

@@ -4,7 +4,7 @@
 //! to cross-validate the generic quadrature moments of
 //! [`crate::truncated::Truncated`].
 
-use crate::traits::{uniform01, Continuous, Distribution, Sample};
+use crate::traits::{Continuous, Distribution, Sample};
 use crate::{require_finite, require_positive, DistError};
 use rand::RngCore;
 use resq_specfun::{norm_cdf, norm_pdf, norm_quantile, norm_sf, LN_SQRT_2PI};
@@ -91,50 +91,34 @@ impl Sample for Normal {
         self.mu + self.sigma * standard_normal(rng)
     }
 
-    /// Polar-pair batch kernel: each accepted `(u, v)` point yields *two*
-    /// variates instead of discarding the second one like the scalar
-    /// path, halving the `ln`/`sqrt` count per draw. Consumes the RNG
-    /// stream differently from repeated [`Sample::sample`] calls, so this
-    /// override is *not* draw-order preserving (same law, different
-    /// bits).
+    /// Ziggurat batch kernel. The scalar path and this override call the
+    /// same per-draw ziggurat routine in slot order, so the batch is
+    /// *draw-order preserving*: bit-identical to `out.len()` scalar
+    /// [`Sample::sample`] calls on the same stream (unlike the retired
+    /// polar-pair kernel, which consumed the stream two variates at a
+    /// time).
     fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
-        let mut chunks = out.chunks_exact_mut(2);
-        for pair in &mut chunks {
-            let (z0, z1) = standard_normal_pair(rng);
-            pair[0] = self.mu + self.sigma * z0;
-            pair[1] = self.mu + self.sigma * z1;
-        }
-        for slot in chunks.into_remainder() {
-            *slot = self.mu + self.sigma * standard_normal(rng);
+        self.sample_batch_mono(rng, out)
+    }
+
+    /// Monomorphized ziggurat batch kernel — same stream consumption as
+    /// [`Sample::sample_batch`], fully inlined for concrete RNGs.
+    #[inline]
+    fn sample_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        crate::ziggurat::fill_standard_normal(rng, out);
+        for slot in out.iter_mut() {
+            *slot = self.mu + self.sigma * *slot;
         }
     }
 }
 
-/// One standard-Normal variate by the Marsaglia polar method.
-pub(crate) fn standard_normal(rng: &mut dyn RngCore) -> f64 {
-    loop {
-        let u = 2.0 * uniform01(rng) - 1.0;
-        let v = 2.0 * uniform01(rng) - 1.0;
-        let s = u * u + v * v;
-        if s > 0.0 && s < 1.0 {
-            return u * (-2.0 * s.ln() / s).sqrt();
-        }
-    }
-}
-
-/// Both antithetic outputs of one accepted Marsaglia polar point — the
-/// batch kernels use the pair, the scalar path historically discards the
-/// second variate.
-pub(crate) fn standard_normal_pair(rng: &mut dyn RngCore) -> (f64, f64) {
-    loop {
-        let u = 2.0 * uniform01(rng) - 1.0;
-        let v = 2.0 * uniform01(rng) - 1.0;
-        let s = u * u + v * v;
-        if s > 0.0 && s < 1.0 {
-            let f = (-2.0 * s.ln() / s).sqrt();
-            return (u * f, v * f);
-        }
-    }
+/// One standard-Normal variate by the 256-layer ziggurat method (see
+/// [`crate::ziggurat`] for the construction and the exhaustive tail
+/// handling). Single shared kernel for the scalar and batch Gaussian
+/// paths, the LogNormal sampler, and the Marsaglia–Tsang Gamma squeeze.
+#[inline]
+pub(crate) fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    crate::ziggurat::standard_normal(rng)
 }
 
 /// Mean of `N(μ, σ²)` truncated to `[lo, hi]` (closed form):

@@ -84,19 +84,39 @@ pub trait Sample {
             *slot = self.sample(rng);
         }
     }
+
+    /// Monomorphized batch fill: identical contract (and identical RNG
+    /// word consumption) to [`Sample::sample_batch`], but generic over
+    /// the generator so a caller holding a *concrete* RNG gets a fully
+    /// inlined kernel — no per-draw virtual dispatch, generator state
+    /// kept in registers across the whole block. This is the
+    /// Monte-Carlo hot entry point; the `Self: Sized` bound keeps the
+    /// trait object-safe by excluding this method from the vtable
+    /// (`dyn Sample` callers use [`Sample::sample_batch`], which laws
+    /// with specialized kernels implement by delegating here with
+    /// `R = dyn RngCore`).
+    #[inline]
+    fn sample_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64])
+    where
+        Self: Sized,
+    {
+        let mut rng = rng;
+        self.sample_batch(&mut rng, out)
+    }
 }
 
-/// Uniform `[0, 1)` draw from a dyn RNG, the basic building block of all
-/// samplers in this crate (53-bit mantissa method).
+/// Uniform `[0, 1)` draw, the basic building block of all samplers in
+/// this crate (53-bit mantissa method). Generic over the generator so
+/// monomorphized kernels inline it; `R = dyn RngCore` works too.
 #[inline]
-pub(crate) fn uniform01(rng: &mut dyn RngCore) -> f64 {
+pub(crate) fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     // 53 random mantissa bits / 2^53, in [0, 1).
     (rng.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0)
 }
 
 /// Uniform `(0, 1]` draw, safe for logarithms.
 #[inline]
-pub(crate) fn uniform01_open_left(rng: &mut dyn RngCore) -> f64 {
+pub(crate) fn uniform01_open_left<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     1.0 - uniform01(rng)
 }
 
@@ -116,7 +136,7 @@ pub(crate) fn u64_to_uniform01(word: u64) -> f64 {
 /// block is a whole number of words, so the words consumed — and hence
 /// the uniforms produced — are bit-identical to repeated [`uniform01`]
 /// calls: this helper is draw-order preserving.
-pub(crate) fn fill_uniform01(rng: &mut dyn RngCore, out: &mut [f64]) {
+pub(crate) fn fill_uniform01<R: RngCore + ?Sized>(rng: &mut R, out: &mut [f64]) {
     let mut bytes = [0u8; UNIFORM_BLOCK * 8];
     for chunk in out.chunks_mut(UNIFORM_BLOCK) {
         let buf = &mut bytes[..chunk.len() * 8];

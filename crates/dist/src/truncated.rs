@@ -245,25 +245,64 @@ impl<D: Continuous + Sample> Sample for Truncated<D> {
 
     /// Batch kernel with a mass-dependent strategy:
     ///
-    /// * mass ≥ `REJECTION_MIN_MASS` (0.9) — fill from the parent's own batch
-    ///   kernel and re-draw the few rejects scalar-wise. This skips the
-    ///   parent-quantile evaluation entirely (for the paper's
-    ///   truncated-Normal laws that is an Acklam + Halley refinement per
-    ///   draw) but consumes the RNG stream differently from the scalar
-    ///   path: *not* draw-order preserving.
+    /// * mass ≥ `REJECTION_MIN_MASS` (0.9) — fill from the parent's own
+    ///   batch kernel, then *repair* the few out-of-interval slots with
+    ///   buffered inversion draws. The repair is branch-free in the
+    ///   per-element sense: the accept test ORs reject positions into a
+    ///   per-tile bitmask (no data-dependent redraw loop per slot), then
+    ///   one uniform block + one parent-quantile evaluation per set bit
+    ///   overwrites them. Replacing a reject with an
+    ///   independent exact inversion draw preserves the law (accepted
+    ///   parent draws conditioned on the interval *are* the truncated
+    ///   law; repaired slots are the truncated law by construction), so
+    ///   the batch is i.i.d. truncated with a *bounded* stream cost —
+    ///   unlike classic per-slot rejection, the RNG words consumed per
+    ///   tile are `tile + rejects`, never unbounded. Consumes the stream
+    ///   differently from the scalar path: *not* draw-order preserving.
     /// * mass < `REJECTION_MIN_MASS` — block-buffered uniforms through
     ///   the same inversion arithmetic as [`Sample::sample`], bit-identical
     ///   to repeated scalar draws, and still O(1) per variate however deep
     ///   the truncation.
     fn sample_batch(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.sample_batch_mono(rng, out)
+    }
+
+    /// Monomorphized form of [`Sample::sample_batch`] (same strategy,
+    /// same stream consumption); the parent fill also goes through the
+    /// parent's monomorphized kernel, so for `Truncated<Normal>` the
+    /// whole chain — ziggurat fill, mask test, repair — inlines into the
+    /// caller when the RNG is concrete.
+    #[inline]
+    fn sample_batch_mono<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         let (a, b) = self.effective_support();
         if self.mass >= REJECTION_MIN_MASS {
-            self.parent.sample_batch(rng, out);
-            for slot in out.iter_mut() {
-                while !(*slot >= self.lo && *slot <= self.hi) {
-                    *slot = self.parent.sample(rng);
+            self.parent.sample_batch_mono(rng, out);
+            // One 64-bit reject mask per tile: the accept test is a
+            // branchless OR into the mask (catches NaN from a
+            // pathological parent), and the hot path — no rejects, the
+            // overwhelmingly common case at mass ≈ 1 — touches no stack
+            // buffers at all. TILE matches the uniform block so a repair
+            // costs ≤ 1 fill_bytes call.
+            const TILE: usize = 64;
+            for tile in out.chunks_mut(TILE) {
+                let mut mask = 0u64;
+                for (j, &x) in tile.iter().enumerate() {
+                    mask |= u64::from(!(x >= self.lo && x <= self.hi)) << j;
                 }
-                *slot = slot.clamp(a, b);
+                if mask != 0 {
+                    let n_rej = mask.count_ones() as usize;
+                    let mut u = [0.0f64; TILE];
+                    let ubuf = &mut u[..n_rej];
+                    crate::traits::fill_uniform01(rng, ubuf);
+                    for &uu in ubuf.iter() {
+                        let j = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        tile[j] = self.parent.quantile(self.f_lo + uu * self.mass);
+                    }
+                }
+                for x in tile.iter_mut() {
+                    *x = x.clamp(a, b);
+                }
             }
         } else {
             crate::traits::fill_uniform01(rng, out);
@@ -389,6 +428,33 @@ mod tests {
         let n = 100_000;
         let xs = t.sample_vec(&mut rng, n);
         for &probe in &[2.0, 3.0, 3.5, 4.5, 6.0] {
+            let emp = xs.iter().filter(|&&x| x <= probe).count() as f64 / n as f64;
+            assert!(
+                (emp - t.cdf(probe)).abs() < 0.01,
+                "probe {probe}: {emp} vs {}",
+                t.cdf(probe)
+            );
+        }
+    }
+
+    #[test]
+    fn high_mass_batch_repair_matches_cdf() {
+        // N(0,1) on [−2, 2]: mass ≈ 0.9545, so ≈ 4.5% of parent draws are
+        // rejects and the predicated-compaction + inversion-repair path
+        // runs in every tile. Sizes cross tile boundaries (64) and leave
+        // partial tails.
+        let t = Truncated::new(Normal::new(0.0, 1.0).unwrap(), -2.0, 2.0).unwrap();
+        assert!(t.parent_mass() >= REJECTION_MIN_MASS);
+        let mut rng = Xoshiro256pp::new(41);
+        for &n in &[1usize, 63, 64, 65, 130] {
+            let mut out = vec![0.0f64; n];
+            t.sample_batch(&mut rng, &mut out);
+            assert!(out.iter().all(|&x| (-2.0..=2.0).contains(&x)), "n={n}");
+        }
+        let n = 100_000;
+        let mut xs = vec![0.0f64; n];
+        t.sample_batch(&mut rng, &mut xs);
+        for &probe in &[-1.5, -0.5, 0.0, 0.7, 1.8] {
             let emp = xs.iter().filter(|&&x| x <= probe).count() as f64 / n as f64;
             assert!(
                 (emp - t.cdf(probe)).abs() < 0.01,

@@ -5,8 +5,9 @@
 //! threads. Each trial `i` therefore gets its own RNG
 //! `Xoshiro256pp::for_stream(seed, i)` derived from `(seed, i)` alone,
 //! and trials are partitioned over crossbeam scoped threads in
-//! contiguous chunks, with per-thread [`Welford`] accumulators merged in
-//! deterministic order at the end.
+//! contiguous fixed-size chunks, with chunk-local [`Welford`]
+//! accumulators streamed back to the coordinator and merged strictly in
+//! chunk order — O(threads) live state regardless of trial count.
 
 use crate::stats::{Summary, Welford};
 use resq_dist::Xoshiro256pp;
@@ -105,20 +106,22 @@ where
     )
 }
 
-/// Batched-sampling variant of [`run_trials_observed`]: each chunk builds
-/// one `scratch` value (`make_scratch`) and threads it through every
-/// trial of the chunk, so trial kernels can reuse per-chunk sample
-/// buffers (see `WorkflowSim::run_once_batched`) instead of allocating —
-/// or drawing variates one virtual call at a time.
+/// Batched-sampling variant of [`run_trials_observed`]: each *worker*
+/// builds one `scratch` value (`make_scratch`) when it starts and
+/// threads it through every trial it runs, so trial kernels reuse their
+/// sample buffers (see `WorkflowSim::run_once_batched`) across all the
+/// chunks a worker claims — zero allocations on the steady-state hot
+/// path — instead of drawing variates one virtual call at a time.
 ///
 /// The determinism contract is unchanged: trial `i` still owns the
 /// private stream `for_stream(seed, i)` and per-chunk accumulators merge
 /// in chunk order, so results and event logs are bit-identical for any
-/// `threads`. Scratch state never crosses a chunk boundary mid-trial and
-/// chunks are a fixed [`CHUNK`] trials, so scratch reuse cannot couple
-/// trials across scheduling decisions. Chunks record under the
-/// `sim/mc/batch` span (scalar chunks use `sim/mc/chunk`), which is how
-/// span snapshots tell the two paths apart.
+/// `threads`. Trial kernels reset their scratch at trial entry and never
+/// read values a previous trial left behind (scratch is a buffer, not
+/// state), so worker-lifetime reuse cannot couple trials across
+/// scheduling decisions. Chunks record under the `sim/mc/batch` span
+/// (scalar chunks use `sim/mc/chunk`), which is how span snapshots tell
+/// the two paths apart.
 pub fn run_trials_batched<S, M, F>(
     config: MonteCarloConfig,
     sink: &dyn RunSink,
@@ -143,7 +146,19 @@ where
 
 /// Shared chunk-parallel harness behind the scalar and batched runners;
 /// `chunk_span` names the per-chunk root span, `make_scratch` builds the
-/// per-chunk trial state.
+/// per-*worker* trial state.
+///
+/// Aggregation is fully streaming: workers claim chunk indices from an
+/// atomic cursor, run each chunk into a chunk-local [`Welford`], and send
+/// `(index, accumulator, events)` down a *bounded* channel; the
+/// coordinating thread merges results strictly in chunk order through a
+/// small reorder buffer. Because indices are claimed in increasing order
+/// and the channel applies backpressure, at most
+/// `threads + channel-capacity` chunk results are alive at any instant —
+/// O(threads) memory however many hundreds of millions of trials run
+/// (the retired implementation buffered one slot per chunk for the whole
+/// run). Scratch is built once per worker, not once per chunk, so the
+/// steady-state hot path performs zero allocations.
 fn run_trials_core<S, M, F>(
     config: MonteCarloConfig,
     sink: &dyn RunSink,
@@ -173,16 +188,18 @@ where
     let _run_span = span::enter(span_name::MC_RUN);
     let observing = sink.enabled();
     let n_chunks = config.trials.div_ceil(CHUNK).max(1) as usize;
-    let run_chunk = |c: usize| {
+    let run_chunk = |c: usize, scratch: &mut S| {
         let _chunk_span = Span::root(spans.clone(), chunk_span);
         let lo = c as u64 * CHUNK;
         let hi = (lo + CHUNK).min(config.trials);
         let mut acc = Welford::new();
         let mut events: Vec<Event> = Vec::new();
-        let mut scratch = make_scratch();
+        // One bulk tally instead of an atomic increment per trial; the
+        // counter's total is unchanged.
+        metrics::RNG_STREAM_DERIVATIONS.add(hi - lo);
         for i in lo..hi {
-            let mut rng = Xoshiro256pp::for_stream(config.seed, i);
-            let value = trial(i, &mut rng, &mut scratch);
+            let mut rng = Xoshiro256pp::for_stream_untallied(config.seed, i);
+            let value = trial(i, &mut rng, scratch);
             acc.add(value);
             if observing && sample_every > 0 && i % sample_every == 0 {
                 events.push(
@@ -199,43 +216,16 @@ where
     };
 
     let threads = config.resolved_threads().max(1).min(n_chunks);
-    let mut partials: Vec<(Welford, Vec<Event>)> = vec![(Welford::new(), Vec::new()); n_chunks];
-    if threads == 1 {
-        for (c, slot) in partials.iter_mut().enumerate() {
-            *slot = run_chunk(c);
-        }
-        metrics::MC_WORKER_TRIALS.record(config.trials);
-    } else {
-        crossbeam::scope(|scope| {
-            // Hand out (chunk index, output slot) pairs through a channel
-            // so slots are written exactly once without locking.
-            let (tx, rx) = crossbeam::channel::unbounded::<(usize, &mut (Welford, Vec<Event>))>();
-            for (c, slot) in partials.iter_mut().enumerate() {
-                tx.send((c, slot)).expect("channel send");
-            }
-            drop(tx);
-            for _ in 0..threads {
-                let rx = rx.clone();
-                let run_chunk = &run_chunk;
-                scope.spawn(move |_| {
-                    let mut worker_trials = 0u64;
-                    while let Ok((c, slot)) = rx.recv() {
-                        *slot = run_chunk(c);
-                        worker_trials += slot.0.count();
-                    }
-                    metrics::MC_WORKER_TRIALS.record(worker_trials);
-                });
-            }
-        })
-        .expect("crossbeam scope failed");
-    }
-
     let mut total = Welford::new();
-    for (c, (p, events)) in partials.into_iter().enumerate() {
+    // In-order merge step shared by the serial and parallel paths: event
+    // buffers flush the moment their chunk's turn comes up, and the
+    // cumulative progress row is emitted right after — the log is
+    // byte-identical to the old buffer-everything implementation.
+    let mut merge = |c: usize, partial: &Welford, events: Vec<Event>| {
         for event in events {
             sink.emit(event);
         }
-        total.merge(&p);
+        total.merge(partial);
         if observing {
             sink.emit(
                 Event::new(event_type::CHUNK_PROGRESS)
@@ -244,7 +234,64 @@ where
                     .f64("running_mean", total.mean()),
             );
         }
+    };
+
+    if threads == 1 {
+        let mut scratch = make_scratch();
+        for c in 0..n_chunks {
+            let (acc, events) = run_chunk(c, &mut scratch);
+            merge(c, &acc, events);
+        }
+        metrics::MC_WORKER_TRIALS.record(config.trials);
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cursor = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            // Bounded result channel: backpressure caps the number of
+            // finished-but-unmerged chunks, which (with the monotone
+            // cursor) bounds the coordinator's reorder buffer.
+            let (tx, rx) =
+                crossbeam::channel::bounded::<(usize, Welford, Vec<Event>)>(threads * 2);
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let run_chunk = &run_chunk;
+                let make_scratch = &make_scratch;
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let mut scratch = make_scratch();
+                    let mut worker_trials = 0u64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let (acc, events) = run_chunk(c, &mut scratch);
+                        worker_trials += acc.count();
+                        if tx.send((c, acc, events)).is_err() {
+                            break;
+                        }
+                    }
+                    metrics::MC_WORKER_TRIALS.record(worker_trials);
+                });
+            }
+            drop(tx);
+            // Streaming in-order merge: results may arrive out of order;
+            // park early arrivals until their predecessors land.
+            let mut pending: std::collections::BTreeMap<usize, (Welford, Vec<Event>)> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            while let Ok((c, acc, events)) = rx.recv() {
+                pending.insert(c, (acc, events));
+                while let Some((acc, events)) = pending.remove(&next) {
+                    merge(next, &acc, events);
+                    next += 1;
+                }
+            }
+            debug_assert!(pending.is_empty());
+        })
+        .expect("crossbeam scope failed");
     }
+
     metrics::MC_TRIALS_RUN.add(config.trials);
     metrics::MC_CHUNKS_RUN.add(n_chunks as u64);
     total.summary()

@@ -104,13 +104,20 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
     }
 }
 
-/// Reusable draw buffers for [`WorkflowSim::run_once_batched`]. Built
-/// once per Monte-Carlo chunk (see `run_trials_batched`) and threaded
-/// through every trial, so the batched kernel allocates nothing per
-/// trial.
+/// Reusable draw buffers for [`WorkflowSim::run_once_batched`],
+/// structure-of-arrays style: one fixed block of task draws and a
+/// one-slot checkpoint buffer, each its own flat array. Built once per
+/// Monte-Carlo *worker* (see `run_trials_batched`) and threaded through
+/// every trial that worker runs, across chunk boundaries — the arrays
+/// are inline (no `Vec`), so the batched hot path performs zero heap
+/// allocations after worker start-up.
 #[derive(Debug, Clone, Default)]
 pub struct BatchScratch {
-    tasks: Vec<f64>,
+    tasks: [f64; Self::BLOCK],
+    ckpt: [f64; 1],
+    /// Draws available in `tasks` (0 or `BLOCK`).
+    filled: usize,
+    /// Cursor of the next unserved draw in `tasks`.
     next: usize,
 }
 
@@ -121,36 +128,48 @@ impl BatchScratch {
     /// private stream, costing one cheap batch draw each.
     const BLOCK: usize = 8;
 
-    /// Creates empty scratch with the block capacity pre-allocated.
+    /// Creates empty scratch (inline buffers, nothing allocated).
     pub fn new() -> Self {
-        Self {
-            tasks: Vec::with_capacity(Self::BLOCK),
-            next: 0,
-        }
+        Self::default()
     }
 
     /// Discards buffered draws (a new trial owns a new RNG stream).
     pub(crate) fn reset(&mut self) {
-        self.tasks.clear();
+        self.filled = 0;
         self.next = 0;
     }
 
     /// Serves the next task draw, refilling the block buffer through
-    /// `draw_batch` when empty — the one batched primitive shared with
-    /// the fault-injected runner (`crate::faults`).
-    pub(crate) fn next_draw<X: TaskDuration>(
+    /// `draw_batch_mono` when empty — the one batched primitive shared
+    /// with the fault-injected runner (`crate::faults`). Generic over
+    /// the RNG so the Monte-Carlo workers (concrete per-trial
+    /// `Xoshiro256pp`) get the law's sampling kernel inlined end-to-end.
+    #[inline]
+    pub(crate) fn next_draw<X: TaskDuration, R: RngCore + ?Sized>(
         &mut self,
         task: &X,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
     ) -> f64 {
-        if self.next == self.tasks.len() {
-            self.tasks.resize(Self::BLOCK, 0.0);
-            task.draw_batch(rng, &mut self.tasks);
+        if self.next == self.filled {
+            task.draw_batch_mono(rng, &mut self.tasks);
+            self.filled = Self::BLOCK;
             self.next = 0;
         }
         let x = self.tasks[self.next];
         self.next += 1;
         x
+    }
+
+    /// Draws one checkpoint duration through the law's batch kernel (a
+    /// length-1 `sample_batch_mono` call into the inline buffer).
+    #[inline]
+    pub(crate) fn draw_ckpt<C: Sample, R: RngCore + ?Sized>(
+        &mut self,
+        ckpt: &C,
+        rng: &mut R,
+    ) -> f64 {
+        ckpt.sample_batch_mono(rng, &mut self.ckpt);
+        self.ckpt[0]
     }
 }
 
@@ -158,10 +177,10 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
     /// Batched-sampling variant of [`WorkflowSim::run_once`]: the
     /// checkpoint duration comes from a length-1 `sample_batch` call and
     /// task durations are pre-drawn in blocks of 8 (see [`BatchScratch`])
-    /// through [`TaskDuration::draw_batch`], replacing one virtual
-    /// sampler call per draw with one per block (and unlocking the
-    /// specialized batch kernels — polar pairs, truncated rejection —
-    /// where the laws provide them).
+    /// through [`TaskDuration::draw_batch_mono`], replacing one virtual
+    /// sampler call per draw with a monomorphized kernel per block (and
+    /// unlocking the specialized batch kernels — ziggurat fills,
+    /// truncated mask-repair — where the laws provide them).
     ///
     /// For laws whose batch kernels are draw-order preserving (the
     /// defaults) the outcome is bit-identical to [`WorkflowSim::run_once`]
@@ -170,17 +189,15 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
     /// stream. For specialized kernels the outcome is statistically —
     /// not bitwise — equivalent; thread-count invariance holds either
     /// way because nothing here depends on scheduling.
-    pub fn run_once_batched<P: WorkflowPolicy + ?Sized>(
+    pub fn run_once_batched<P: WorkflowPolicy + ?Sized, R: RngCore + ?Sized>(
         &self,
         policy: &P,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut BatchScratch,
     ) -> WorkflowOutcome {
         scratch.reset();
         let r = self.reservation;
-        let mut c1 = [0.0f64];
-        self.ckpt.sample_batch(rng, &mut c1);
-        let c = c1[0];
+        let c = scratch.draw_ckpt(&self.ckpt, rng);
         let mut elapsed = 0.0f64;
         let mut tasks = 0u64;
         loop {
@@ -196,13 +213,7 @@ impl<X: TaskDuration, C: Sample> WorkflowSim<X, C> {
                     time_used: if succeeded { elapsed + c } else { r },
                 };
             }
-            if scratch.next == scratch.tasks.len() {
-                scratch.tasks.resize(BatchScratch::BLOCK, 0.0);
-                self.task.draw_batch(rng, &mut scratch.tasks);
-                scratch.next = 0;
-            }
-            let x = scratch.tasks[scratch.next].max(0.0);
-            scratch.next += 1;
+            let x = scratch.next_draw(&self.task, rng).max(0.0);
             if elapsed + x > r {
                 return WorkflowOutcome {
                     work_saved: 0.0,

@@ -284,6 +284,133 @@ fn batch_toggle_is_bit_transparent_for_order_preserving_laws() {
 }
 
 #[test]
+fn batch_toggle_is_bit_transparent_for_ziggurat_laws() {
+    // New with the throughput engine: the ziggurat Normal / LogNormal
+    // batch kernels consume exactly the words their scalar counterparts
+    // would (one u64 per layer probe, plus wedge/tail words), so for
+    // these laws too `--batch` must be invisible in the results — not
+    // just statistically equivalent, as the polar-pair kernels were.
+    // Checked across thread counts while we are at it.
+    use resq::dist::LogNormal;
+    use resq::obs::MemorySink;
+    use resq::sim::run_trials_observed;
+
+    let s = WorkflowSim {
+        reservation: 29.0,
+        task: LogNormal::new(1.0, 0.35).unwrap(),
+        ckpt: Normal::new(5.0, 0.4).unwrap(),
+    };
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let cfg = MonteCarloConfig {
+        trials: 20_000,
+        seed: 99,
+        threads: 2,
+    };
+    let scalar_sink = MemorySink::new();
+    let scalar = run_trials_observed(cfg, &scalar_sink, 1_000, |_, rng| {
+        s.run_once(&policy, rng).work_saved
+    });
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    for threads in [1usize, 2, max_threads] {
+        let batched_sink = MemorySink::new();
+        let batched = run_trials_batched(
+            MonteCarloConfig { threads, ..cfg },
+            &batched_sink,
+            1_000,
+            BatchScratch::new,
+            |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+        );
+        assert_eq!(
+            scalar.mean.to_bits(),
+            batched.mean.to_bits(),
+            "batch toggle changed the ziggurat-law mean at {threads} threads"
+        );
+        assert_eq!(scalar.std_dev.to_bits(), batched.std_dev.to_bits());
+        assert_eq!(scalar.min.to_bits(), batched.min.to_bits());
+        assert_eq!(scalar.max.to_bits(), batched.max.to_bits());
+        assert_eq!(
+            scalar_sink.lines(),
+            batched_sink.lines(),
+            "batch on/off changed the event log for ziggurat laws at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn relocked_draw_stream_matches_pinned_golden() {
+    // The ziggurat engine re-keyed the Normal-consuming draw streams
+    // exactly once (2026-08; see EXPERIMENTS.md). Pin the new stream at
+    // two levels so any future kernel change shows up as an explicit
+    // golden break, not silent drift:
+    //
+    // 1. raw draws — the first standard-normal and LogNormal variates
+    //    off the trial-0 stream of seed 99;
+    // 2. end-to-end — the batched fig-8 summary bits at 30 000 trials.
+    use resq::dist::LogNormal;
+
+    let mut rng = Xoshiro256pp::for_stream(99, 0);
+    let mut buf = [0.0f64; 4];
+    use resq::dist::Sample;
+    Normal::new(0.0, 1.0).unwrap().sample_batch_mono(&mut rng, &mut buf);
+    let golden_normal: [u64; 4] = [
+        0xbfed4bc353f0f9bb, // -0.9154984130362246
+        0x3fd3e6fd1c3209a1, //  0.31097343209708056
+        0xbfd41fce8e678224, // -0.31444133669541174
+        0xbfded836f7de91bc, // -0.4819466991996497
+    ];
+    for (i, (x, g)) in buf.iter().zip(&golden_normal).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            *g,
+            "ziggurat normal draw {i} drifted: {x} vs golden {}",
+            f64::from_bits(*g)
+        );
+    }
+
+    let mut rng = Xoshiro256pp::for_stream(99, 0);
+    let mut lbuf = [0.0f64; 2];
+    LogNormal::new(1.0, 0.35)
+        .unwrap()
+        .sample_batch_mono(&mut rng, &mut lbuf);
+    let golden_lognormal: [u64; 2] = [
+        0x3fff9192812fe5ac, // 1.9730401083346392
+        0x40083f2a75c1ec93, // 3.0308427047544426
+    ];
+    for (i, (x, g)) in lbuf.iter().zip(&golden_lognormal).enumerate() {
+        assert_eq!(x.to_bits(), *g, "lognormal draw {i} drifted");
+    }
+
+    let s = sim();
+    let policy = ThresholdWorkflowPolicy { threshold: 20.26 };
+    let summary = run_trials_batched(
+        MonteCarloConfig {
+            trials: 30_000,
+            seed: 99,
+            threads: 1,
+        },
+        &resq::obs::NullSink,
+        0,
+        BatchScratch::new,
+        |_, rng, scratch| s.run_once_batched(&policy, rng, scratch).work_saved,
+    );
+    assert_eq!(
+        summary.mean.to_bits(),
+        0x40357f90e4c1aaac, // 21.498304650575548
+        "re-locked fig-8 batched mean drifted: {}",
+        summary.mean
+    );
+    assert_eq!(
+        summary.std_dev.to_bits(),
+        0x4003f76ae8bc26b8, // 2.4958093817156985
+        "re-locked fig-8 batched std-dev drifted: {}",
+        summary.std_dev
+    );
+}
+
+#[test]
 fn batched_span_structure_is_thread_count_invariant() {
     // Same contract as the scalar span-structure test, with the batched
     // runner's own chunk span: a batched run records `sim/mc/batch`

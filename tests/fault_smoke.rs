@@ -64,6 +64,10 @@ fn fixed_seed_fault_run_reproduces_golden_counters() {
     assert!(failures > 0 && failures < attempts);
 }
 
-const GOLDEN_ATTEMPTS: u64 = 9956;
-const GOLDEN_FAILURES: u64 = 4105;
-const GOLDEN_MEAN_BITS: u64 = 0x4029540eef8ba8cf; // 12.664176450536983
+// Re-locked 2026-08 when the ziggurat Normal kernel replaced the polar
+// pair: the Gamma task law consumes standard normals, so its draw
+// stream (and everything downstream of it) re-keyed once. See
+// EXPERIMENTS.md and CHANGES.md for the re-lock note.
+const GOLDEN_ATTEMPTS: u64 = 9960;
+const GOLDEN_FAILURES: u64 = 4111;
+const GOLDEN_MEAN_BITS: u64 = 0x40294c10c54a2a9b; // 12.648565450004119

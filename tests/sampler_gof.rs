@@ -1,13 +1,21 @@
 //! Kolmogorov–Smirnov goodness-of-fit tier for every continuous sampler
-//! in `resq-dist`, covering BOTH draw paths against the law's analytic
-//! CDF at fixed seeds:
+//! in `resq-dist`, covering ALL THREE draw paths against the law's
+//! analytic CDF at fixed seeds:
 //!
-//! * the scalar path (`Sample::sample` in a loop), and
-//! * the batch path (`Sample::sample_batch` filling a whole buffer) —
-//!   including the kernels that change draw order (polar-pair Normal /
-//!   LogNormal, rejection-from-parent-batch Truncated), which are only
-//!   *statistically* equivalent to the scalar path and therefore need a
-//!   distributional test, not a bitwise one.
+//! * the scalar path (`Sample::sample` in a loop),
+//! * the dyn batch path (`Sample::sample_batch` filling a whole
+//!   buffer), and
+//! * the monomorphized batch path (`Sample::sample_batch_mono` with a
+//!   concrete generator — the Monte-Carlo hot entry since the ziggurat
+//!   throughput engine) —
+//!
+//! including the kernels that change draw order (the mask-repair
+//! Truncated rejection kernel), which are only *statistically*
+//! equivalent to the scalar path and therefore need a distributional
+//! test, not a bitwise one. The ziggurat Normal / LogNormal batch
+//! kernels are draw-order preserving (bitwise tests live in
+//! `tests/determinism.rs` and in `resq-dist`); here they are KS-checked
+//! as distributions in their own right, tails included.
 //!
 //! Seeds are fixed, so every p-value below is a deterministic number and
 //! the thresholds are not flaky: a failure means a sampler actually
@@ -25,12 +33,12 @@ fn slow_enabled() -> bool {
     std::env::var("RESQ_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
 }
 
-/// KS-checks `law` on both draw paths with `n` variates per path.
+/// KS-checks `law` on all three draw paths with `n` variates per path.
 ///
-/// The scalar and batch samples use different seeds on purpose: the two
-/// paths are independent draws from the same law, and reusing the seed
-/// would make the batch check vacuous for draw-order-preserving kernels
-/// (identical bits trivially share a KS statistic).
+/// The scalar, batch, and monomorphized samples use different seeds on
+/// purpose: the paths are independent draws from the same law, and
+/// reusing a seed would make a check vacuous for draw-order-preserving
+/// kernels (identical bits trivially share a KS statistic).
 fn check_gof<D: Continuous + Sample>(name: &str, law: &D, seed: u64, n: usize, p_floor: f64) {
     let mut rng = Xoshiro256pp::new(seed);
     let scalar = law.sample_vec(&mut rng, n);
@@ -53,9 +61,24 @@ fn check_gof<D: Continuous + Sample>(name: &str, law: &D, seed: u64, n: usize, p
         out.p_value
     );
 
+    // Monomorphized batch entry with a concrete generator — the
+    // Monte-Carlo hot path (ziggurat Normal / LogNormal fills, the
+    // mask-repair Truncated kernel) compiled without virtual dispatch.
+    let mut rng = Xoshiro256pp::new(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut mono = vec![0.0f64; n];
+    law.sample_batch_mono(&mut rng, &mut mono);
+    let out = ks_test(&mono, law);
+    assert!(
+        out.p_value > p_floor,
+        "{name}: monomorphized batch path rejected by KS (D = {:.5}, p = {:.3e}, n = {n})",
+        out.statistic,
+        out.p_value
+    );
+
     // Batch fills of awkward lengths (odd, sub-block, just past a
-    // refill boundary) must hit the same law — exercises the polar-pair
-    // remainder slot and the uniform-block tail.
+    // refill boundary) must hit the same law — exercises the ziggurat
+    // fill tail, the mask-repair tile remainder, and the uniform-block
+    // tail.
     for (i, &len) in [1usize, 7, 63, 65].iter().enumerate() {
         let mut rng = Xoshiro256pp::new(seed.wrapping_add(100 + i as u64));
         let mut out_buf = vec![0.0f64; len];
